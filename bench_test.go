@@ -1,0 +1,220 @@
+package vita
+
+// This file is the benchmark harness required by DESIGN.md §4: one bench per
+// reproduced figure/claim (E1-E10) plus the ablations (A1-A4) and
+// micro-benchmarks for the hot substrates. Run:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/vitabench prints the same experiments as human-readable tables.
+
+import (
+	"testing"
+
+	"vita/internal/device"
+	"vita/internal/experiments"
+	"vita/internal/geom"
+	"vita/internal/ifc"
+	"vita/internal/index"
+	"vita/internal/model"
+	"vita/internal/object"
+	"vita/internal/rng"
+	"vita/internal/rssi"
+	"vita/internal/topo"
+	"vita/internal/trajectory"
+)
+
+func benchExperiment(b *testing.B, run func(seed uint64) (*experiments.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty experiment table")
+		}
+	}
+}
+
+// BenchmarkPipelineEndToEnd regenerates E1 (Figure 1 data flow).
+func BenchmarkPipelineEndToEnd(b *testing.B) { benchExperiment(b, experiments.E1Pipeline) }
+
+// BenchmarkDeploymentModels regenerates E2 (Figure 3 deployments and
+// distributions).
+func BenchmarkDeploymentModels(b *testing.B) { benchExperiment(b, experiments.E2Deployment) }
+
+// BenchmarkRSSIWallAttenuation regenerates E3 (Figure 3a d1/d2 claim).
+func BenchmarkRSSIWallAttenuation(b *testing.B) { benchExperiment(b, experiments.E3WallAttenuation) }
+
+// BenchmarkSamplingFrequencySweep regenerates E4 (ground-truth fidelity).
+func BenchmarkSamplingFrequencySweep(b *testing.B) { benchExperiment(b, experiments.E4SamplingSweep) }
+
+// BenchmarkPositioningAccuracy regenerates E5 (method × noise accuracy).
+func BenchmarkPositioningAccuracy(b *testing.B) { benchExperiment(b, experiments.E5Accuracy) }
+
+// BenchmarkRoutingSchemes regenerates E6 (min-distance vs min-time).
+func BenchmarkRoutingSchemes(b *testing.B) { benchExperiment(b, experiments.E6Routing) }
+
+// BenchmarkDBIProcessing regenerates E7 (§4.1 DBI pipeline).
+func BenchmarkDBIProcessing(b *testing.B) { benchExperiment(b, experiments.E7DBIProcessing) }
+
+// BenchmarkStorageQueries regenerates E8 (Data Stream APIs).
+func BenchmarkStorageQueries(b *testing.B) { benchExperiment(b, experiments.E8StorageQueries) }
+
+// BenchmarkArrivalProcess regenerates E9 (Poisson arrivals).
+func BenchmarkArrivalProcess(b *testing.B) { benchExperiment(b, experiments.E9Arrivals) }
+
+// BenchmarkMethodDeviceCombos regenerates E10 (§5 step 6 combinations).
+func BenchmarkMethodDeviceCombos(b *testing.B) { benchExperiment(b, experiments.E10Combos) }
+
+// BenchmarkAblationLoS regenerates A1.
+func BenchmarkAblationLoS(b *testing.B) { benchExperiment(b, experiments.AblationLoS) }
+
+// BenchmarkAblationIndex regenerates A2.
+func BenchmarkAblationIndex(b *testing.B) { benchExperiment(b, experiments.AblationIndex) }
+
+// BenchmarkAblationRadioMapDensity regenerates A3.
+func BenchmarkAblationRadioMapDensity(b *testing.B) {
+	benchExperiment(b, experiments.AblationRadioMapDensity)
+}
+
+// BenchmarkAblationDecomposition regenerates A4.
+func BenchmarkAblationDecomposition(b *testing.B) {
+	benchExperiment(b, experiments.AblationDecomposition)
+}
+
+// --- micro-benchmarks for the hot substrates ---
+
+func officeTopoB(b *testing.B) *topo.Topology {
+	b.Helper()
+	f, err := ifc.Parse(ifc.OfficeIFC())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bd, _, err := ifc.Extract(f, ifc.DefaultExtractOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := topo.Build(bd, topo.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// BenchmarkIFCParse measures DBI parsing alone.
+func BenchmarkIFCParse(b *testing.B) {
+	text := ifc.OfficeIFC()
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ifc.Parse(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyBuild measures full topology derivation.
+func BenchmarkTopologyBuild(b *testing.B) {
+	text := ifc.OfficeIFC()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := ifc.Parse(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bd, _, err := ifc.Extract(f, ifc.DefaultExtractOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := topo.Build(bd, topo.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoute measures one cross-floor route computation.
+func BenchmarkRoute(b *testing.B) {
+	t := officeTopoB(b)
+	from := model.At("office", 0, "", geom.Pt(4, 4))
+	to := model.At("office", 1, "", geom.Pt(36, 18))
+	sm := topo.DefaultSpeedModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Route(from, to, topo.MinDistance, sm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSSIModel measures one path-loss evaluation with noise.
+func BenchmarkRSSIModel(b *testing.B) {
+	m := rssi.DefaultPathLossModel()
+	d := &device.Device{Props: device.DefaultProperties(device.WiFi)}
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.At(12.5, 2, d, r)
+	}
+}
+
+// BenchmarkWallCrossings measures a line-of-sight query on the office floor.
+func BenchmarkWallCrossings(b *testing.B) {
+	t := officeTopoB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Crossings(0, geom.Pt(2, 2), geom.Pt(38, 18))
+	}
+}
+
+// BenchmarkRTreeSearch measures point queries against a packed R-tree.
+func BenchmarkRTreeSearch(b *testing.B) {
+	r := rng.New(3)
+	items := make([]index.Item, 512)
+	for i := range items {
+		p := &model.Partition{
+			ID:      "p",
+			Polygon: geom.Rect(r.Range(0, 500), r.Range(0, 500), r.Range(0, 500)+5, r.Range(0, 500)+5),
+		}
+		items[i] = p
+	}
+	t := index.BulkLoad(items)
+	var buf []index.Item
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = t.SearchPoint(geom.Pt(r.Range(0, 500), r.Range(0, 500)), buf[:0])
+	}
+}
+
+// BenchmarkTrajectoryEngine measures the movement simulation alone (20
+// objects, 60 simulated seconds).
+func BenchmarkTrajectoryEngine(b *testing.B) {
+	t := officeTopoB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := object.NewSpawner(t, object.SpawnConfig{
+			InitialCount: 20,
+			MinLifespan:  60, MaxLifespan: 60,
+			MaxSpeed: 1.6,
+			Pattern:  object.DefaultPattern(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := trajectory.NewEngine(t, sp, trajectory.Config{
+			Duration: 60, Tick: 0.25, SampleInterval: 1,
+		}, rng.New(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command vitagen runs Vita's full generation pipeline from a JSON
+// configuration and writes the produced data as CSV files, following the
+// demo's six-step path (paper §5): import DBI → view environment → deploy
+// devices → generate objects/trajectories → generate RSSI → run the
+// positioning method.
+//
+// Usage:
+//
+//	vitagen -config cfg.json -out outdir [-render] [-snapshot 60]
+//	vitagen -default > cfg.json       # print the default config
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vita/internal/core"
+	"vita/internal/render"
+	"vita/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vitagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		configPath = flag.String("config", "", "JSON configuration file (empty = defaults)")
+		outDir     = flag.String("out", "out", "output directory for CSV files")
+		doRender   = flag.Bool("render", false, "render ASCII floor plans with the final snapshot")
+		snapshotAt = flag.Float64("snapshot", -1, "extract an object snapshot at this simulation second")
+		printDef   = flag.Bool("default", false, "print the default configuration as JSON and exit")
+	)
+	flag.Parse()
+
+	if *printDef {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(core.DefaultConfig())
+	}
+
+	cfg := core.DefaultConfig()
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		loaded, err := core.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg = loaded
+	}
+
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	ds, err := p.Run()
+	if err != nil {
+		return err
+	}
+
+	// Summary, mirroring Figure 1's data products.
+	fmt.Printf("building        %s (%d floors, %d partitions, %d doors, %d staircases)\n",
+		ds.Building.ID, len(ds.Building.Floors), ds.Building.PartitionCount(),
+		ds.Building.DoorCount(), len(ds.Building.Staircases))
+	if ds.DBIReport != nil && len(ds.DBIReport.Issues) > 0 {
+		fmt.Printf("dbi issues      %d (see report below)\n", len(ds.DBIReport.Issues))
+	}
+	fmt.Printf("devices         %d\n", ds.Devices.Len())
+	fmt.Printf("trajectory rows %d (objects spawned %d)\n", ds.Trajectories.Len(), ds.TrajectoryStats.Spawned)
+	fmt.Printf("rssi rows       %d\n", ds.RSSI.Len())
+	fmt.Printf("estimates       %d\n", ds.Estimates.Len())
+	fmt.Printf("prob estimates  %d\n", len(ds.ProbEstimates))
+	fmt.Printf("proximity rows  %d\n", ds.Proximity.Len())
+	if ds.Estimates.Len() > 0 {
+		stats, floorMiss := core.EvaluateEstimates(ds.Trajectories, ds.Estimates.All())
+		fmt.Printf("accuracy        %s (floor mismatches %d)\n", stats, floorMiss)
+	}
+	if ds.DBIReport != nil {
+		for _, issue := range ds.DBIReport.Issues {
+			fmt.Println("  dbi:", issue)
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(*outDir, "trajectory.csv"), func(f *os.File) error {
+		return storage.WriteTrajectoryCSV(f, ds.Trajectories.All())
+	}); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(*outDir, "rssi.csv"), func(f *os.File) error {
+		return storage.WriteRSSICSV(f, ds.RSSI.All())
+	}); err != nil {
+		return err
+	}
+	if ds.Estimates.Len() > 0 {
+		if err := writeCSV(filepath.Join(*outDir, "estimates.csv"), func(f *os.File) error {
+			return storage.WriteEstimateCSV(f, ds.Estimates.All())
+		}); err != nil {
+			return err
+		}
+	}
+	if ds.Proximity.Len() > 0 {
+		if err := writeCSV(filepath.Join(*outDir, "proximity.csv"), func(f *os.File) error {
+			return storage.WriteProximityCSV(f, ds.Proximity.All())
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote CSV files to %s\n", *outDir)
+
+	if *doRender || *snapshotAt >= 0 {
+		at := *snapshotAt
+		if at < 0 {
+			at = cfg.Trajectory.Duration
+		}
+		snap := ds.Trajectories.SnapshotAt(at)
+		fmt.Printf("\nsnapshot at t=%.0fs: %d objects\n", at, len(snap))
+		fmt.Print(render.Building(ds.Building, ds.Devices.All(), snap, render.Options{Width: 100}))
+	}
+	return nil
+}
+
+func writeCSV(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"vita/internal/object"
+	"vita/internal/positioning"
+	"vita/internal/topo"
+)
+
+func TestObjectConfigPattern(t *testing.T) {
+	cases := []struct {
+		in        ObjectConfig
+		intention object.Intention
+		routing   topo.Metric
+		behavior  object.Behavior
+		wantErr   bool
+	}{
+		{ObjectConfig{}, object.DestinationIntent, topo.MinDistance, object.WalkStay, false},
+		{ObjectConfig{Intention: "random-way", Routing: "min-time", Behavior: "constant-walk"},
+			object.RandomWayIntent, topo.MinTime, object.ConstantWalk, false},
+		{ObjectConfig{Intention: "teleport"}, 0, 0, 0, true},
+		{ObjectConfig{Routing: "warp"}, 0, 0, 0, true},
+		{ObjectConfig{Behavior: "moonwalk"}, 0, 0, 0, true},
+	}
+	for i, c := range cases {
+		p, err := c.in.pattern()
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("case %d: error expected", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if p.Intention != c.intention || p.Routing != c.routing || p.Behavior != c.behavior {
+			t.Errorf("case %d: pattern = %+v", i, p)
+		}
+	}
+	// Stay bounds applied.
+	p, err := ObjectConfig{MinStay: 5, MaxStay: 50}.pattern()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MinStay != 5 || p.MaxStay != 50 {
+		t.Errorf("stay bounds not applied: %+v", p)
+	}
+}
+
+func TestObjectConfigDistribution(t *testing.T) {
+	if d, err := (ObjectConfig{}).distribution(); err != nil || d.Name() != "uniform" {
+		t.Errorf("default distribution = %v, %v", d, err)
+	}
+	d, err := (ObjectConfig{Distribution: "crowd-outliers", CrowdFraction: 0.9}).distribution()
+	if err != nil || d.Name() != "crowd-outliers" {
+		t.Errorf("crowd-outliers = %v, %v", d, err)
+	}
+	if _, err := (ObjectConfig{Distribution: "bimodal"}).distribution(); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestRSSIConfigModel(t *testing.T) {
+	m := RSSIConfig{}.model()
+	if m.Exponent != 2.2 || !m.UseLineOfSight {
+		t.Errorf("default model = %+v", m)
+	}
+	m = RSSIConfig{
+		Exponent:           3,
+		CalibrationA:       -50,
+		WallLoss:           9,
+		FluctuationSigma:   4,
+		DisableLineOfSight: true,
+		ConstantPenalty:    2,
+	}.model()
+	if m.Exponent != 3 || m.CalibrationA != -50 || m.WallLoss != 9 ||
+		m.FluctuationSigma != 4 || m.UseLineOfSight || m.ConstantObstaclePenalty != 2 {
+		t.Errorf("overrides not applied: %+v", m)
+	}
+}
+
+func TestDeviceConfigSpec(t *testing.T) {
+	spec, err := DeviceConfig{Model: "coverage", Type: "wifi", Count: 4}.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Count != 4 || spec.Props != nil {
+		t.Errorf("spec = %+v", spec)
+	}
+	spec, err = DeviceConfig{Model: "check-point", Type: "rfid", DetectionRange: 2, SampleInterval: 0.25}.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Props == nil || spec.Props.DetectionRange != 2 || spec.Props.SampleInterval != 0.25 {
+		t.Errorf("props overrides missing: %+v", spec.Props)
+	}
+	if _, err := (DeviceConfig{Model: "coverage", Type: "sonar"}).spec(); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := (DeviceConfig{Model: "scatter", Type: "wifi"}).spec(); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestPositioningConfigAlgorithm(t *testing.T) {
+	if a, err := (PositioningConfig{}).algorithm(); err != nil || a != positioning.KNN {
+		t.Errorf("default algorithm = %v, %v", a, err)
+	}
+	if a, err := (PositioningConfig{Algorithm: "bayes"}).algorithm(); err != nil || a != positioning.NaiveBayes {
+		t.Errorf("bayes = %v, %v", a, err)
+	}
+	if _, err := (PositioningConfig{Algorithm: "svm"}).algorithm(); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestLoadConfigFromFileSource(t *testing.T) {
+	// Building.Source = "file:..." path errors surface cleanly.
+	env := IndoorEnvironmentController{Config: BuildingConfig{Source: "file:/nonexistent/x.ifc"}}
+	if _, _, err := env.Load(); err == nil {
+		t.Error("missing DBI file accepted")
+	}
+	env = IndoorEnvironmentController{Config: BuildingConfig{Source: "teleport:office"}}
+	if _, _, err := env.Load(); err == nil {
+		t.Error("unknown source accepted")
+	}
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"vita/internal/device"
+	"vita/internal/geom"
+	"vita/internal/ifc"
+	"vita/internal/model"
+	"vita/internal/object"
+	"vita/internal/positioning"
+	"vita/internal/rng"
+	"vita/internal/rssi"
+	"vita/internal/storage"
+	"vita/internal/topo"
+	"vita/internal/trajectory"
+)
+
+// Dataset is everything one pipeline run produced, mirroring the data types
+// of Figure 1: indoor environment data, positioning device data, raw
+// trajectory data, raw RSSI data, and positioning data.
+type Dataset struct {
+	Building *model.Building
+	Topo     *topo.Topology
+	// DBIReport lists the data errors identified (and repaired) while
+	// processing the DBI file.
+	DBIReport *ifc.Report
+
+	Devices      *storage.DeviceStore
+	Trajectories *storage.TrajectoryStore
+	RSSI         *storage.RSSIStore
+
+	// Estimates holds trilateration / deterministic fingerprinting output.
+	Estimates *storage.EstimateStore
+	// ProbEstimates holds probabilistic fingerprinting output.
+	ProbEstimates []positioning.ProbEstimate
+	// Proximity holds proximity output.
+	Proximity *storage.ProximityStore
+	// RadioMap is the fingerprinting training data, when built.
+	RadioMap *positioning.RadioMap
+
+	TrajectoryStats trajectory.Stats
+}
+
+// Pipeline executes the three layers in order. Each controller is exposed so
+// callers (and the examples) can also drive stages individually.
+type Pipeline struct {
+	cfg Config
+}
+
+// NewPipeline validates the configuration and returns a runnable pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Building.Source == "" {
+		return nil, fmt.Errorf("core: config has no building source")
+	}
+	if cfg.Trajectory.Duration <= 0 {
+		return nil, fmt.Errorf("core: config has non-positive duration")
+	}
+	return &Pipeline{cfg: cfg}, nil
+}
+
+// Run executes the full pipeline: DBI processing, device deployment, object
+// and trajectory generation, RSSI generation, and positioning.
+func (p *Pipeline) Run() (*Dataset, error) {
+	r := rng.New(p.cfg.Seed)
+	ds := &Dataset{
+		Trajectories: storage.NewTrajectoryStore(),
+		RSSI:         storage.NewRSSIStore(),
+		Estimates:    storage.NewEstimateStore(),
+		Proximity:    storage.NewProximityStore(),
+	}
+
+	// ----- Infrastructure Layer -----
+	env := IndoorEnvironmentController{Config: p.cfg.Building}
+	topology, report, err := env.Load()
+	if err != nil {
+		return nil, err
+	}
+	ds.Topo = topology
+	ds.Building = topology.B
+	ds.DBIReport = report
+
+	devCtl := PositioningDeviceController{Configs: p.cfg.Devices}
+	devs, err := devCtl.Deploy(topology, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	ds.Devices, err = storage.NewDeviceStore(devs)
+	if err != nil {
+		return nil, err
+	}
+
+	// ----- Moving Object Layer -----
+	objCtl := MovingObjectController{Objects: p.cfg.Objects, Trajectory: p.cfg.Trajectory}
+	stats, err := objCtl.Generate(topology, r.Split(), ds.Trajectories.Append)
+	if err != nil {
+		return nil, err
+	}
+	ds.TrajectoryStats = stats
+
+	// ----- Positioning Layer -----
+	rssiCtl := RSSIMeasurementController{Config: p.cfg.RSSI}
+	if _, err := rssiCtl.Generate(topology, devs, ds.Trajectories.All(), r.Split(), ds.RSSI.Append); err != nil {
+		return nil, err
+	}
+
+	pmc := PositioningMethodController{Config: p.cfg.Positioning, RSSIModel: p.cfg.RSSI.model()}
+	if err := pmc.Run(topology, devs, ds, r.Split()); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// IndoorEnvironmentController loads and constructs the host indoor
+// environment from a DBI source (paper §2, layer 1).
+type IndoorEnvironmentController struct {
+	Config BuildingConfig
+}
+
+// Load parses the DBI source and builds the topology.
+func (c IndoorEnvironmentController) Load() (*topo.Topology, *ifc.Report, error) {
+	src := c.Config.Source
+	var text string
+	switch {
+	case src == "synthetic:office":
+		text = ifc.OfficeIFC()
+	case src == "synthetic:mall":
+		text = ifc.MallIFC()
+	case src == "synthetic:clinic":
+		text = ifc.ClinicIFC()
+	case strings.HasPrefix(src, "file:"):
+		data, err := os.ReadFile(strings.TrimPrefix(src, "file:"))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: read DBI file: %w", err)
+		}
+		text = string(data)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown building source %q", src)
+	}
+
+	f, err := ifc.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, report, err := ifc.Extract(f, ifc.DefaultExtractOptions())
+	if err != nil {
+		return nil, report, err
+	}
+	if err := c.applyObstacles(b); err != nil {
+		return nil, report, err
+	}
+	if err := c.applyDoorDirections(b); err != nil {
+		return nil, report, err
+	}
+
+	opts := topo.DefaultOptions()
+	if c.Config.Decompose != nil && !*c.Config.Decompose {
+		opts.Decompose = nil
+	}
+	if c.Config.MaxPartitionArea > 0 && opts.Decompose != nil {
+		opts.Decompose.MaxArea = c.Config.MaxPartitionArea
+	}
+	topology, err := topo.Build(b, opts)
+	if err != nil {
+		return nil, report, err
+	}
+	return topology, report, nil
+}
+
+// applyObstacles deploys the configured obstacles onto their floors.
+func (c IndoorEnvironmentController) applyObstacles(b *model.Building) error {
+	for i, oc := range c.Config.Obstacles {
+		f, ok := b.Floor(oc.Floor)
+		if !ok {
+			return fmt.Errorf("core: obstacle %d references unknown floor %d", i, oc.Floor)
+		}
+		poly := geom.Rect(oc.MinX, oc.MinY, oc.MaxX, oc.MaxY)
+		if err := poly.Validate(); err != nil {
+			return fmt.Errorf("core: obstacle %d: %w", i, err)
+		}
+		f.Obstacles = append(f.Obstacles, &model.Obstacle{
+			ID:      fmt.Sprintf("user-obstacle-%d", i+1),
+			Floor:   oc.Floor,
+			Polygon: poly,
+		})
+	}
+	return nil
+}
+
+// applyDoorDirections configures door directionality. It needs door
+// connectivity, so it runs a ConnectDoors pass first (idempotent —
+// topo.Build re-runs it after decomposition).
+func (c IndoorEnvironmentController) applyDoorDirections(b *model.Building) error {
+	if len(c.Config.OneWayDoors) == 0 {
+		return nil
+	}
+	if err := topo.ConnectDoors(b); err != nil {
+		return err
+	}
+	for _, ow := range c.Config.OneWayDoors {
+		var door *model.Door
+		for _, level := range b.FloorLevels() {
+			for _, d := range b.Floors[level].Doors {
+				if d.ID == ow.Door {
+					door = d
+				}
+			}
+		}
+		if door == nil {
+			return fmt.Errorf("core: one-way door %q not found", ow.Door)
+		}
+		switch {
+		case rootOf(door.Partitions[0]) == ow.From && rootOf(door.Partitions[1]) == ow.To:
+			door.Direction = model.AToB
+		case rootOf(door.Partitions[1]) == ow.From && rootOf(door.Partitions[0]) == ow.To:
+			door.Direction = model.BToA
+		default:
+			return fmt.Errorf("core: one-way door %q does not connect %q and %q (connects %v)",
+				ow.Door, ow.From, ow.To, door.Partitions)
+		}
+	}
+	return nil
+}
+
+func rootOf(id string) string {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '.' {
+			return id[:i]
+		}
+	}
+	return id
+}
+
+// PositioningDeviceController deploys the configured positioning devices
+// (paper §2, layer 1).
+type PositioningDeviceController struct {
+	Configs []DeviceConfig
+}
+
+// Deploy places every configured device batch.
+func (c PositioningDeviceController) Deploy(t *topo.Topology, r *rng.Rand) ([]*device.Device, error) {
+	var out []*device.Device
+	for i, dc := range c.Configs {
+		spec, err := dc.spec()
+		if err != nil {
+			return nil, fmt.Errorf("core: device config %d: %w", i, err)
+		}
+		devs, err := device.Deploy(t.B, dc.Floor, spec, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: device config %d: %w", i, err)
+		}
+		out = append(out, devs...)
+	}
+	return out, nil
+}
+
+// MovingObjectController generates moving objects and raw trajectories
+// (paper §2, layer 2).
+type MovingObjectController struct {
+	Objects    ObjectConfig
+	Trajectory TrajectoryConfig
+}
+
+// Generate runs the movement engine, emitting samples to emit.
+func (c MovingObjectController) Generate(t *topo.Topology, r *rng.Rand, emit func(trajectory.Sample)) (trajectory.Stats, error) {
+	pattern, err := c.Objects.pattern()
+	if err != nil {
+		return trajectory.Stats{}, err
+	}
+	dist, err := c.Objects.distribution()
+	if err != nil {
+		return trajectory.Stats{}, err
+	}
+	spawnCfg := object.SpawnConfig{
+		InitialCount:       c.Objects.Count,
+		MinLifespan:        c.Objects.MinLifespan,
+		MaxLifespan:        c.Objects.MaxLifespan,
+		MaxSpeed:           c.Objects.MaxSpeed,
+		Pattern:            pattern,
+		Distribution:       dist,
+		ArrivalRate:        c.Objects.ArrivalRate,
+		EmergingPartitions: c.Objects.EmergingPartitions,
+	}
+	if spawnCfg.MinLifespan <= 0 {
+		spawnCfg.MinLifespan = c.Trajectory.Duration / 2
+	}
+	if spawnCfg.MaxLifespan < spawnCfg.MinLifespan {
+		spawnCfg.MaxLifespan = c.Trajectory.Duration
+	}
+	if spawnCfg.MaxSpeed <= 0 {
+		spawnCfg.MaxSpeed = 1.5
+	}
+	sp, err := object.NewSpawner(t, spawnCfg)
+	if err != nil {
+		return trajectory.Stats{}, err
+	}
+	eng, err := trajectory.NewEngine(t, sp, trajectory.Config{
+		Duration:       c.Trajectory.Duration,
+		Tick:           c.Trajectory.Tick,
+		SampleInterval: c.Trajectory.SampleInterval,
+		Speed:          topo.DefaultSpeedModel(),
+	}, r)
+	if err != nil {
+		return trajectory.Stats{}, err
+	}
+	return eng.Run(emit)
+}
+
+// RSSIMeasurementController generates raw RSSI measurements (paper §2,
+// layer 3).
+type RSSIMeasurementController struct {
+	Config RSSIConfig
+}
+
+// Generate replays trajectories against devices.
+func (c RSSIMeasurementController) Generate(t *topo.Topology, devs []*device.Device,
+	samples []trajectory.Sample, r *rng.Rand, emit func(rssi.Measurement)) (int, error) {
+	gen, err := rssi.NewGenerator(t, devs, rssi.Config{
+		Model:          c.Config.model(),
+		SampleInterval: c.Config.SampleInterval,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return gen.Generate(samples, r, emit)
+}
+
+// PositioningMethodController derives positioning data from raw RSSI data
+// with the chosen method (paper §2, layer 3).
+type PositioningMethodController struct {
+	Config    PositioningConfig
+	RSSIModel rssi.PathLossModel
+}
+
+// Run fills the dataset's positioning outputs in place.
+func (c PositioningMethodController) Run(t *topo.Topology, devs []*device.Device, ds *Dataset, r *rng.Rand) error {
+	ms := ds.RSSI.All()
+	switch c.Config.Method {
+	case "":
+		return nil // positioning step skipped
+	case "trilateration":
+		tr, err := positioning.NewTrilateration(t, devs, positioning.TrilaterationConfig{
+			Convert:        positioning.DefaultConversion(c.RSSIModel),
+			SampleInterval: c.Config.SampleInterval,
+		})
+		if err != nil {
+			return err
+		}
+		est, err := tr.Estimate(ms)
+		if err != nil {
+			return err
+		}
+		ds.Estimates.Append(est...)
+		return nil
+	case "fingerprint", "fingerprinting":
+		algo, err := c.Config.algorithm()
+		if err != nil {
+			return err
+		}
+		rm, err := positioning.BuildRadioMap(t, devs, positioning.RadioMapConfig{
+			Spacing: c.Config.Spacing,
+			Model:   c.RSSIModel,
+		}, r)
+		if err != nil {
+			return err
+		}
+		ds.RadioMap = rm
+		fp, err := positioning.NewFingerprinting(rm, devs, positioning.FingerprintConfig{
+			Algorithm:      algo,
+			K:              c.Config.K,
+			SampleInterval: c.Config.SampleInterval,
+		})
+		if err != nil {
+			return err
+		}
+		if algo == positioning.NaiveBayes {
+			pe, err := fp.EstimateProbabilistic(ms)
+			if err != nil {
+				return err
+			}
+			ds.ProbEstimates = pe
+			// Also materialize the argmax as deterministic records.
+			est, err := fp.Estimate(ms)
+			if err != nil {
+				return err
+			}
+			ds.Estimates.Append(est...)
+			return nil
+		}
+		est, err := fp.Estimate(ms)
+		if err != nil {
+			return err
+		}
+		ds.Estimates.Append(est...)
+		return nil
+	case "proximity":
+		px, err := positioning.NewProximity(devs, positioning.ProximityConfig{})
+		if err != nil {
+			return err
+		}
+		recs, err := px.Records(ms)
+		if err != nil {
+			return err
+		}
+		ds.Proximity.Append(recs...)
+		return nil
+	default:
+		return fmt.Errorf("core: unknown positioning method %q", c.Config.Method)
+	}
+}

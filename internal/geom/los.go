@@ -1,0 +1,55 @@
+package geom
+
+// WallSet is a collection of wall segments supporting line-of-sight queries.
+// It underlies the obstacle-noise term Nob of the RSSI path loss model: the
+// paper's Figure 3(a) example (device d1 behind walls measures a weaker
+// signal than d2 at the same transmission distance) is realized by counting
+// how many walls the direct path crosses.
+type WallSet struct {
+	walls []Segment
+	boxes []BBox
+}
+
+// NewWallSet builds a WallSet from wall segments.
+func NewWallSet(walls []Segment) *WallSet {
+	ws := &WallSet{walls: make([]Segment, len(walls)), boxes: make([]BBox, len(walls))}
+	copy(ws.walls, walls)
+	for i, w := range walls {
+		ws.boxes[i] = w.BBox()
+	}
+	return ws
+}
+
+// Add appends a wall segment.
+func (ws *WallSet) Add(w Segment) {
+	ws.walls = append(ws.walls, w)
+	ws.boxes = append(ws.boxes, w.BBox())
+}
+
+// Len returns the number of walls.
+func (ws *WallSet) Len() int { return len(ws.walls) }
+
+// Walls returns the underlying wall segments (not a copy).
+func (ws *WallSet) Walls() []Segment { return ws.walls }
+
+// Crossings returns the number of walls the open segment from a to b crosses.
+func (ws *WallSet) Crossings(a, b Point) int {
+	path := Segment{a, b}
+	pb := path.BBox()
+	n := 0
+	for i, w := range ws.walls {
+		if !pb.Intersects(ws.boxes[i]) {
+			continue
+		}
+		if path.Intersects(w) {
+			n++
+		}
+	}
+	return n
+}
+
+// HasLineOfSight reports whether the straight path from a to b crosses no
+// walls.
+func (ws *WallSet) HasLineOfSight(a, b Point) bool {
+	return ws.Crossings(a, b) == 0
+}

@@ -1,0 +1,151 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// clampCoord maps arbitrary float64s into a well-conditioned coordinate
+// range so property tests avoid NaN/Inf and catastrophic cancellation.
+func clampCoord(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1000)
+}
+
+func qpt(x, y float64) Point { return Pt(clampCoord(x), clampCoord(y)) }
+
+// TestQuickBBoxUnionContains: the union of two boxes contains both.
+func TestQuickBBoxUnionContains(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		b1 := BBoxOf(qpt(ax, ay), qpt(bx, by))
+		b2 := BBoxOf(qpt(cx, cy), qpt(dx, dy))
+		u := b1.Union(b2)
+		return u.ContainsBBox(b1) && u.ContainsBBox(b2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBBoxDistZeroInside: points inside a box are at distance zero.
+func TestQuickBBoxDistZeroInside(t *testing.T) {
+	f := func(ax, ay, bx, by, t1, t2 float64) bool {
+		b := BBoxOf(qpt(ax, ay), qpt(bx, by))
+		u := math.Abs(math.Mod(t1, 1))
+		v := math.Abs(math.Mod(t2, 1))
+		p := Pt(b.Min.X+u*b.Width(), b.Min.Y+v*b.Height())
+		return b.DistToPoint(p) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSegmentIntersectsSymmetric: intersection is symmetric.
+func TestQuickSegmentIntersectsSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		s1 := Seg(qpt(ax, ay), qpt(bx, by))
+		s2 := Seg(qpt(cx, cy), qpt(dx, dy))
+		return s1.Intersects(s2) == s2.Intersects(s1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSegmentClosestPointOnSegment: the closest point lies on the
+// segment and is no farther than either endpoint.
+func TestQuickSegmentClosestPointOnSegment(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		s := Seg(qpt(ax, ay), qpt(bx, by))
+		p := qpt(px, py)
+		c := s.ClosestPoint(p)
+		d := c.Dist(p)
+		if d > p.Dist(s.A)+Eps || d > p.Dist(s.B)+Eps {
+			return false
+		}
+		// c must be (nearly) on the segment.
+		return s.DistToPoint(c) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPolygonTranslationInvariance: area and relative centroid are
+// preserved under translation.
+func TestQuickPolygonTranslationInvariance(t *testing.T) {
+	f := func(w, h, tx, ty float64) bool {
+		wc := math.Abs(clampCoord(w)) + 1
+		hc := math.Abs(clampCoord(h)) + 1
+		p := Rect(0, 0, wc, hc)
+		off := qpt(tx, ty)
+		q := make(Polygon, len(p))
+		for i, v := range p {
+			q[i] = v.Add(off)
+		}
+		if math.Abs(p.Area()-q.Area()) > 1e-6*(1+p.Area()) {
+			return false
+		}
+		cp, cq := p.Centroid(), q.Centroid()
+		return cq.Sub(off).Dist(cp) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSplitPreservesArea: splitting a rectangle by any line through its
+// interior preserves total area.
+func TestQuickSplitPreservesArea(t *testing.T) {
+	f := func(w, h, angle float64) bool {
+		wc := math.Abs(clampCoord(w)) + 2
+		hc := math.Abs(clampCoord(h)) + 2
+		p := Rect(0, 0, wc, hc)
+		c := p.Centroid()
+		a := math.Mod(angle, math.Pi)
+		dir := Pt(math.Cos(a), math.Sin(a))
+		from := c.Sub(dir.Scale(wc + hc))
+		to := c.Add(dir.Scale(wc + hc))
+		left, right := p.SplitByLine(from, to)
+		return math.Abs(left.Area()+right.Area()-p.Area()) < 1e-6*(1+p.Area())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickContainsCentroidConvex: a convex polygon contains its centroid.
+func TestQuickContainsCentroidConvex(t *testing.T) {
+	f := func(w, h float64) bool {
+		wc := math.Abs(clampCoord(w)) + 1
+		hc := math.Abs(clampCoord(h)) + 1
+		p := Rect(3, 7, 3+wc, 7+hc)
+		return p.Contains(p.Centroid())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWallCrossingsParity: a horizontal path from strictly inside a
+// closed rectangle of walls to strictly outside crosses an odd number of
+// walls. The ray is kept horizontal through edge interiors — a path grazing
+// a polygon corner legitimately touches two adjacent edges at their shared
+// endpoint and breaks naive parity, which is exactly why line-of-sight
+// queries in the toolkit count crossings rather than assume parity.
+func TestQuickWallCrossingsParity(t *testing.T) {
+	walls := NewWallSet(Rect(0, 0, 100, 100).Edges())
+	f := func(ix, iy, ox float64) bool {
+		in := Pt(1+math.Abs(math.Mod(ix, 98)), 1+math.Abs(math.Mod(iy, 98)))
+		out := Pt(105+math.Abs(math.Mod(ox, 100)), in.Y)
+		n := walls.Crossings(in, out)
+		return n%2 == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

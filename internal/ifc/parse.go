@@ -1,0 +1,289 @@
+package ifc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is one argument of a STEP entity instance: a string, a number, a
+// reference to another instance, a nested list, or null ($ / *).
+type Value struct {
+	Kind ValueKind
+	Str  string
+	Num  float64
+	Ref  int
+	List []Value
+}
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	VNull ValueKind = iota
+	VString
+	VNumber
+	VRef
+	VList
+	VEnum // unquoted identifier argument, e.g. .T.
+)
+
+// Instance is one `#id=TYPE(args);` data line.
+type Instance struct {
+	ID   int
+	Type string
+	Args []Value
+	Line int
+}
+
+// File is a parsed STEP file: the header fields we keep plus the instance
+// map.
+type File struct {
+	SchemaName string
+	FileName   string
+	Instances  map[int]*Instance
+	// Order preserves the textual order of instance IDs.
+	Order []int
+}
+
+// Get returns the instance with the given id.
+func (f *File) Get(id int) (*Instance, bool) {
+	in, ok := f.Instances[id]
+	return in, ok
+}
+
+// ByType returns all instances of the given (upper-case) type in file order.
+func (f *File) ByType(typ string) []*Instance {
+	var out []*Instance
+	for _, id := range f.Order {
+		if in := f.Instances[id]; in.Type == typ {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+type parser struct {
+	lx  *lexer
+	cur token
+}
+
+// Parse parses STEP source text into a File. Parsing is strict about
+// structure (tokens, sections) but deliberately tolerant about entity
+// content: semantic errors are handled later by the Extract repair pass,
+// mirroring the paper's separation of parsing and error identification.
+func Parse(src string) (*File, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{Instances: make(map[int]*Instance)}
+
+	if err := p.expectIdent("ISO-10303-21"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokSemicolon); err != nil {
+		return nil, err
+	}
+	if err := p.parseHeader(f); err != nil {
+		return nil, err
+	}
+	if err := p.parseData(f); err != nil {
+		return nil, err
+	}
+	// Trailer: END-ISO-10303-21;
+	if p.cur.kind == tokIdent && p.cur.text == "END-ISO-10303-21" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.cur.kind == tokSemicolon {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) error {
+	if p.cur.kind != kind {
+		return fmt.Errorf("ifc: line %d: unexpected token %s", p.cur.line, p.cur)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent(name string) error {
+	if p.cur.kind != tokIdent || p.cur.text != name {
+		return fmt.Errorf("ifc: line %d: expected %s, got %s", p.cur.line, name, p.cur)
+	}
+	return p.advance()
+}
+
+// parseHeader consumes HEADER;...ENDSEC; keeping FILE_NAME and FILE_SCHEMA.
+func (p *parser) parseHeader(f *File) error {
+	if err := p.expectIdent("HEADER"); err != nil {
+		return err
+	}
+	if err := p.expect(tokSemicolon); err != nil {
+		return err
+	}
+	for {
+		if p.cur.kind == tokIdent && p.cur.text == "ENDSEC" {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			return p.expect(tokSemicolon)
+		}
+		if p.cur.kind == tokEOF {
+			return fmt.Errorf("ifc: unexpected EOF in header")
+		}
+		if p.cur.kind != tokIdent {
+			return fmt.Errorf("ifc: line %d: expected header entity, got %s", p.cur.line, p.cur)
+		}
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+		args, err := p.parseList()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(tokSemicolon); err != nil {
+			return err
+		}
+		switch name {
+		case "FILE_NAME":
+			if len(args) > 0 && args[0].Kind == VString {
+				f.FileName = args[0].Str
+			}
+		case "FILE_SCHEMA":
+			if len(args) > 0 && args[0].Kind == VList && len(args[0].List) > 0 {
+				f.SchemaName = args[0].List[0].Str
+			}
+		}
+	}
+}
+
+func (p *parser) parseData(f *File) error {
+	if err := p.expectIdent("DATA"); err != nil {
+		return err
+	}
+	if err := p.expect(tokSemicolon); err != nil {
+		return err
+	}
+	for {
+		switch {
+		case p.cur.kind == tokIdent && p.cur.text == "ENDSEC":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			return p.expect(tokSemicolon)
+		case p.cur.kind == tokEOF:
+			return fmt.Errorf("ifc: unexpected EOF in data section")
+		case p.cur.kind == tokRef:
+			line := p.cur.line
+			id, err := strconv.Atoi(strings.TrimPrefix(p.cur.text, "#"))
+			if err != nil {
+				return fmt.Errorf("ifc: line %d: bad instance id %q", line, p.cur.text)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expect(tokEquals); err != nil {
+				return err
+			}
+			if p.cur.kind != tokIdent {
+				return fmt.Errorf("ifc: line %d: expected entity type, got %s", p.cur.line, p.cur)
+			}
+			typ := strings.ToUpper(p.cur.text)
+			if err := p.advance(); err != nil {
+				return err
+			}
+			args, err := p.parseList()
+			if err != nil {
+				return err
+			}
+			if err := p.expect(tokSemicolon); err != nil {
+				return err
+			}
+			if _, dup := f.Instances[id]; dup {
+				return fmt.Errorf("ifc: line %d: duplicate instance #%d", line, id)
+			}
+			f.Instances[id] = &Instance{ID: id, Type: typ, Args: args, Line: line}
+			f.Order = append(f.Order, id)
+		default:
+			return fmt.Errorf("ifc: line %d: expected instance, got %s", p.cur.line, p.cur)
+		}
+	}
+}
+
+// parseList parses a parenthesized, comma-separated argument list.
+func (p *parser) parseList() ([]Value, error) {
+	if err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var out []Value
+	if p.cur.kind == tokRParen {
+		return out, p.advance()
+	}
+	for {
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		switch p.cur.kind {
+		case tokComma:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokRParen:
+			return out, p.advance()
+		default:
+			return nil, fmt.Errorf("ifc: line %d: expected ',' or ')', got %s", p.cur.line, p.cur)
+		}
+	}
+}
+
+func (p *parser) parseValue() (Value, error) {
+	switch p.cur.kind {
+	case tokString:
+		v := Value{Kind: VString, Str: p.cur.text}
+		return v, p.advance()
+	case tokNumber:
+		n, err := strconv.ParseFloat(p.cur.text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("ifc: line %d: bad number %q", p.cur.line, p.cur.text)
+		}
+		return Value{Kind: VNumber, Num: n}, p.advance()
+	case tokRef:
+		id, err := strconv.Atoi(strings.TrimPrefix(p.cur.text, "#"))
+		if err != nil {
+			return Value{}, fmt.Errorf("ifc: line %d: bad ref %q", p.cur.line, p.cur.text)
+		}
+		return Value{Kind: VRef, Ref: id}, p.advance()
+	case tokDollar, tokStar:
+		return Value{Kind: VNull}, p.advance()
+	case tokLParen:
+		list, err := p.parseList()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: VList, List: list}, nil
+	case tokIdent:
+		v := Value{Kind: VEnum, Str: p.cur.text}
+		return v, p.advance()
+	default:
+		return Value{}, fmt.Errorf("ifc: line %d: unexpected token %s in value", p.cur.line, p.cur)
+	}
+}

@@ -1,0 +1,413 @@
+// Package index provides the spatial indices used by Vita's Storage layer:
+// an R-tree with quadratic split and STR bulk loading, and a uniform grid
+// index. The paper stores indoor entities in featured spatial indices to
+// support indoor distance computations and device-in-range lookups; these
+// structures play that role in the in-memory store.
+package index
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"vita/internal/geom"
+)
+
+const (
+	maxEntries = 8
+	minEntries = 3
+)
+
+// Item is anything indexable by a bounding box.
+type Item interface {
+	Bounds() geom.BBox
+}
+
+// RTree is a dynamic R-tree over Items. The zero value is not usable; call
+// NewRTree.
+type RTree struct {
+	root *rnode
+	size int
+}
+
+type rnode struct {
+	leaf     bool
+	bounds   geom.BBox
+	children []*rnode // internal nodes
+	items    []Item   // leaves
+}
+
+// NewRTree returns an empty R-tree.
+func NewRTree() *RTree {
+	return &RTree{root: &rnode{leaf: true, bounds: geom.EmptyBBox()}}
+}
+
+// Len returns the number of items in the tree.
+func (t *RTree) Len() int { return t.size }
+
+// Bounds returns the bounding box of all items.
+func (t *RTree) Bounds() geom.BBox { return t.root.bounds }
+
+// Insert adds item to the tree.
+func (t *RTree) Insert(item Item) {
+	n := t.chooseLeaf(t.root, item.Bounds())
+	n.items = append(n.items, item)
+	n.bounds = n.bounds.Union(item.Bounds())
+	t.size++
+	t.splitUpward(n)
+	t.refreshBounds(t.root)
+}
+
+func (t *RTree) chooseLeaf(n *rnode, b geom.BBox) *rnode {
+	for !n.leaf {
+		best := n.children[0]
+		bestGrow := math.Inf(1)
+		for _, c := range n.children {
+			g := c.bounds.EnlargementTo(b)
+			if g < bestGrow || (g == bestGrow && c.bounds.Area() < best.bounds.Area()) {
+				best, bestGrow = c, g
+			}
+		}
+		best.bounds = best.bounds.Union(b)
+		n = best
+	}
+	return n
+}
+
+// splitUpward handles node overflow by rebuilding the path. For simplicity
+// and robustness we locate the parent chain by search from the root.
+func (t *RTree) splitUpward(n *rnode) {
+	if len(n.items) <= maxEntries && len(n.children) <= maxEntries {
+		return
+	}
+	parent, ok := t.findParent(t.root, n)
+	a, b := splitNode(n)
+	if !ok {
+		// n is the root.
+		t.root = &rnode{leaf: false, children: []*rnode{a, b}}
+		t.refreshBounds(t.root)
+		return
+	}
+	for i, c := range parent.children {
+		if c == n {
+			parent.children[i] = a
+			break
+		}
+	}
+	parent.children = append(parent.children, b)
+	t.splitUpward(parent)
+}
+
+func (t *RTree) findParent(cur, target *rnode) (*rnode, bool) {
+	if cur.leaf {
+		return nil, false
+	}
+	for _, c := range cur.children {
+		if c == target {
+			return cur, true
+		}
+		if c.bounds.ContainsBBox(target.bounds) || c.bounds.Intersects(target.bounds) {
+			if p, ok := t.findParent(c, target); ok {
+				return p, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func splitNode(n *rnode) (*rnode, *rnode) {
+	if n.leaf {
+		items := n.items
+		seedA, seedB := pickSeeds(len(items), func(i int) geom.BBox { return items[i].Bounds() })
+		a := &rnode{leaf: true, bounds: geom.EmptyBBox()}
+		b := &rnode{leaf: true, bounds: geom.EmptyBBox()}
+		for i, it := range items {
+			target := a
+			switch {
+			case i == seedA:
+				target = a
+			case i == seedB:
+				target = b
+			default:
+				target = cheaperNode(a, b, it.Bounds())
+			}
+			target.items = append(target.items, it)
+			target.bounds = target.bounds.Union(it.Bounds())
+		}
+		return a, b
+	}
+	ch := n.children
+	seedA, seedB := pickSeeds(len(ch), func(i int) geom.BBox { return ch[i].bounds })
+	a := &rnode{bounds: geom.EmptyBBox()}
+	b := &rnode{bounds: geom.EmptyBBox()}
+	for i, c := range ch {
+		target := a
+		switch {
+		case i == seedA:
+			target = a
+		case i == seedB:
+			target = b
+		default:
+			target = cheaperNode(a, b, c.bounds)
+		}
+		target.children = append(target.children, c)
+		target.bounds = target.bounds.Union(c.bounds)
+	}
+	return a, b
+}
+
+// cheaperNode returns whichever of a, b grows less when absorbing bb, with a
+// mild balance tie-break so neither side starves below minEntries.
+func cheaperNode(a, b *rnode, bb geom.BBox) *rnode {
+	na, nb := len(a.items)+len(a.children), len(b.items)+len(b.children)
+	if na >= maxEntries-minEntries+1 {
+		return b
+	}
+	if nb >= maxEntries-minEntries+1 {
+		return a
+	}
+	ga := a.bounds.EnlargementTo(bb)
+	gb := b.bounds.EnlargementTo(bb)
+	if ga < gb {
+		return a
+	}
+	if gb < ga {
+		return b
+	}
+	if na <= nb {
+		return a
+	}
+	return b
+}
+
+// pickSeeds chooses the pair with the most wasteful combined box (quadratic
+// split).
+func pickSeeds(n int, boxAt func(int) geom.BBox) (int, int) {
+	bestI, bestJ := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			bi, bj := boxAt(i), boxAt(j)
+			waste := bi.Union(bj).Area() - bi.Area() - bj.Area()
+			if waste > worst {
+				worst, bestI, bestJ = waste, i, j
+			}
+		}
+	}
+	return bestI, bestJ
+}
+
+func (t *RTree) refreshBounds(n *rnode) geom.BBox {
+	if n.leaf {
+		b := geom.EmptyBBox()
+		for _, it := range n.items {
+			b = b.Union(it.Bounds())
+		}
+		n.bounds = b
+		return b
+	}
+	b := geom.EmptyBBox()
+	for _, c := range n.children {
+		b = b.Union(t.refreshBounds(c))
+	}
+	n.bounds = b
+	return b
+}
+
+// Search appends to dst every item whose bounds intersect query and returns
+// the extended slice.
+func (t *RTree) Search(query geom.BBox, dst []Item) []Item {
+	return searchNode(t.root, query, dst)
+}
+
+func searchNode(n *rnode, q geom.BBox, dst []Item) []Item {
+	if !n.bounds.Intersects(q) {
+		return dst
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.Bounds().Intersects(q) {
+				dst = append(dst, it)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = searchNode(c, q, dst)
+	}
+	return dst
+}
+
+// SearchPoint returns every item whose bounds contain p.
+func (t *RTree) SearchPoint(p geom.Point, dst []Item) []Item {
+	return t.Search(geom.BBox{Min: p, Max: p}, dst)
+}
+
+// nnEntry is a best-first search frontier element.
+type nnEntry struct {
+	dist float64
+	node *rnode
+	item Item
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Nearest returns up to k items closest to p (by box distance), nearest
+// first.
+func (t *RTree) Nearest(p geom.Point, k int) []Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &nnHeap{{dist: t.root.bounds.DistToPoint(p), node: t.root}}
+	var out []Item
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(h).(nnEntry)
+		switch {
+		case e.item != nil:
+			out = append(out, e.item)
+		case e.node.leaf:
+			for _, it := range e.node.items {
+				heap.Push(h, nnEntry{dist: it.Bounds().DistToPoint(p), item: it})
+			}
+		default:
+			for _, c := range e.node.children {
+				heap.Push(h, nnEntry{dist: c.bounds.DistToPoint(p), node: c})
+			}
+		}
+	}
+	return out
+}
+
+// BulkLoad builds an R-tree from items using Sort-Tile-Recursive packing;
+// it is considerably faster and better-packed than repeated Insert.
+func BulkLoad(items []Item) *RTree {
+	t := NewRTree()
+	if len(items) == 0 {
+		return t
+	}
+	leaves := strPack(items)
+	nodes := leaves
+	for len(nodes) > 1 {
+		nodes = strPackNodes(nodes)
+	}
+	t.root = nodes[0]
+	t.size = len(items)
+	t.refreshBounds(t.root)
+	return t
+}
+
+func strPack(items []Item) []*rnode {
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Bounds().Center().X < sorted[j].Bounds().Center().X
+	})
+	nLeaves := (len(sorted) + maxEntries - 1) / maxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceSize := sliceCount * maxEntries
+	var leaves []*rnode
+	for i := 0; i < len(sorted); i += sliceSize {
+		end := i + sliceSize
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		slice := sorted[i:end]
+		sort.Slice(slice, func(a, b int) bool {
+			return slice[a].Bounds().Center().Y < slice[b].Bounds().Center().Y
+		})
+		for j := 0; j < len(slice); j += maxEntries {
+			e := j + maxEntries
+			if e > len(slice) {
+				e = len(slice)
+			}
+			leaf := &rnode{leaf: true, bounds: geom.EmptyBBox()}
+			for _, it := range slice[j:e] {
+				leaf.items = append(leaf.items, it)
+				leaf.bounds = leaf.bounds.Union(it.Bounds())
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func strPackNodes(nodes []*rnode) []*rnode {
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].bounds.Center().X < nodes[j].bounds.Center().X
+	})
+	nParents := (len(nodes) + maxEntries - 1) / maxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(nParents))))
+	sliceSize := sliceCount * maxEntries
+	var parents []*rnode
+	for i := 0; i < len(nodes); i += sliceSize {
+		end := i + sliceSize
+		if end > len(nodes) {
+			end = len(nodes)
+		}
+		slice := nodes[i:end]
+		sort.Slice(slice, func(a, b int) bool {
+			return slice[a].bounds.Center().Y < slice[b].bounds.Center().Y
+		})
+		for j := 0; j < len(slice); j += maxEntries {
+			e := j + maxEntries
+			if e > len(slice) {
+				e = len(slice)
+			}
+			p := &rnode{bounds: geom.EmptyBBox()}
+			for _, c := range slice[j:e] {
+				p.children = append(p.children, c)
+				p.bounds = p.bounds.Union(c.bounds)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+// Validate checks structural invariants (child bounds contained in parent,
+// entry counts within limits) and returns the first violation.
+func (t *RTree) Validate() error {
+	return validateNode(t.root, true)
+}
+
+func validateNode(n *rnode, isRoot bool) error {
+	if n.leaf {
+		if !isRoot && len(n.items) > maxEntries {
+			return fmt.Errorf("index: leaf overflow: %d items", len(n.items))
+		}
+		for _, it := range n.items {
+			if !n.bounds.ContainsBBox(it.Bounds()) {
+				return fmt.Errorf("index: item bounds escape leaf bounds")
+			}
+		}
+		return nil
+	}
+	if len(n.children) == 0 {
+		return fmt.Errorf("index: internal node with no children")
+	}
+	if len(n.children) > maxEntries {
+		return fmt.Errorf("index: internal overflow: %d children", len(n.children))
+	}
+	for _, c := range n.children {
+		if !n.bounds.ContainsBBox(c.bounds) {
+			return fmt.Errorf("index: child bounds escape parent bounds")
+		}
+		if err := validateNode(c, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

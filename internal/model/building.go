@@ -1,0 +1,109 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Building is the host indoor environment: a set of floors connected by
+// staircases.
+type Building struct {
+	ID         string
+	Name       string
+	Floors     map[int]*Floor
+	Staircases []*Staircase
+}
+
+// NewBuilding returns an empty building.
+func NewBuilding(id, name string) *Building {
+	return &Building{ID: id, Name: name, Floors: make(map[int]*Floor)}
+}
+
+// AddFloor registers a floor, rejecting duplicate levels.
+func (b *Building) AddFloor(f *Floor) error {
+	if _, dup := b.Floors[f.Level]; dup {
+		return fmt.Errorf("model: duplicate floor level %d in building %s", f.Level, b.ID)
+	}
+	b.Floors[f.Level] = f
+	return nil
+}
+
+// Floor returns the floor at the given level.
+func (b *Building) Floor(level int) (*Floor, bool) {
+	f, ok := b.Floors[level]
+	return f, ok
+}
+
+// FloorLevels returns the sorted list of floor levels.
+func (b *Building) FloorLevels() []int {
+	levels := make([]int, 0, len(b.Floors))
+	for l := range b.Floors {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	return levels
+}
+
+// Partition resolves a partition by floor and ID.
+func (b *Building) Partition(floor int, id string) (*Partition, bool) {
+	f, ok := b.Floors[floor]
+	if !ok {
+		return nil, false
+	}
+	return f.Partition(id)
+}
+
+// PartitionCount returns the total number of partitions across floors.
+func (b *Building) PartitionCount() int {
+	n := 0
+	for _, f := range b.Floors {
+		n += len(f.Partitions)
+	}
+	return n
+}
+
+// DoorCount returns the total number of doors across floors.
+func (b *Building) DoorCount() int {
+	n := 0
+	for _, f := range b.Floors {
+		n += len(f.Doors)
+	}
+	return n
+}
+
+// Validate checks structural invariants of the environment: every door
+// references existing partitions on its floor, partitions have valid
+// polygons, and linked staircases reference existing floors/partitions.
+func (b *Building) Validate() error {
+	for _, level := range b.FloorLevels() {
+		f := b.Floors[level]
+		for _, p := range f.Partitions {
+			if err := p.Polygon.Validate(); err != nil {
+				return fmt.Errorf("model: building %s floor %d partition %s: %w", b.ID, level, p.ID, err)
+			}
+		}
+		for _, d := range f.Doors {
+			for _, pid := range d.Partitions {
+				if pid == "" {
+					continue // exterior door side
+				}
+				if _, ok := f.Partition(pid); !ok {
+					return fmt.Errorf("model: building %s floor %d door %s references unknown partition %s",
+						b.ID, level, d.ID, pid)
+				}
+			}
+		}
+	}
+	for _, s := range b.Staircases {
+		if !s.Linked {
+			continue
+		}
+		if _, ok := b.Partition(s.UpperFloor, s.UpperPartition); !ok {
+			return fmt.Errorf("model: staircase %s upper link %d/%s unresolved", s.ID, s.UpperFloor, s.UpperPartition)
+		}
+		if _, ok := b.Partition(s.LowerFloor, s.LowerPartition); !ok {
+			return fmt.Errorf("model: staircase %s lower link %d/%s unresolved", s.ID, s.LowerFloor, s.LowerPartition)
+		}
+	}
+	return nil
+}

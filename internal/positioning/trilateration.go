@@ -1,0 +1,203 @@
+package positioning
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vita/internal/device"
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/rssi"
+	"vita/internal/topo"
+)
+
+// ConversionFunc derives a distance (m) from a noisy RSSI measurement for a
+// given device. Users "can define their own RSSI conversion functions"
+// (paper §3.3); DefaultConversion wraps the path loss model inversion.
+type ConversionFunc func(rssiVal float64, dev *device.Device) float64
+
+// DefaultConversion returns the conversion function inverting the given path
+// loss model.
+func DefaultConversion(m rssi.PathLossModel) ConversionFunc {
+	return func(v float64, dev *device.Device) float64 {
+		return m.InvertDistance(v, dev)
+	}
+}
+
+// TrilaterationConfig configures the trilateration method.
+type TrilaterationConfig struct {
+	// Convert maps RSSI to distance; nil uses the default path loss
+	// inversion with DefaultPathLossModel.
+	Convert ConversionFunc
+	// SampleInterval is the positioning sampling period (s).
+	SampleInterval float64
+	// MinDevices is the minimum circles required (>= 3 per §3.3).
+	MinDevices int
+	// MaxDevices caps how many of the strongest observations are used per
+	// window; weak, wall-attenuated signals invert to wildly inflated
+	// distances (default 6).
+	MaxDevices int
+}
+
+// Trilateration infers deterministic locations from the intersection of at
+// least three circles, each centered at a positioning device with radius the
+// converted distance (paper §3.3). The over-determined system is solved by
+// linearized least squares.
+type Trilateration struct {
+	cfg  TrilaterationConfig
+	topo *topo.Topology
+	devs map[string]*device.Device
+}
+
+// NewTrilateration builds the method for a deployment.
+func NewTrilateration(t *topo.Topology, devs []*device.Device, cfg TrilaterationConfig) (*Trilateration, error) {
+	idx, err := deviceIndex(devs)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Convert == nil {
+		cfg.Convert = DefaultConversion(rssi.DefaultPathLossModel())
+	}
+	if cfg.MinDevices < 3 {
+		cfg.MinDevices = 3
+	}
+	if cfg.MaxDevices <= 0 {
+		cfg.MaxDevices = 6
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 2
+	}
+	return &Trilateration{cfg: cfg, topo: t, devs: idx}, nil
+}
+
+// Estimate processes raw RSSI measurements into positioning records. Windows
+// observed by fewer than MinDevices devices yield no estimate (the method
+// needs three circles).
+func (tr *Trilateration) Estimate(ms []rssi.Measurement) ([]Estimate, error) {
+	var out []Estimate
+	for _, w := range windowize(ms, tr.cfg.SampleInterval) {
+		est, ok, err := tr.estimateWindow(w)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, est)
+		}
+	}
+	return out, nil
+}
+
+func (tr *Trilateration) estimateWindow(w window) (Estimate, bool, error) {
+	// Group the window's devices by floor; use the floor with the most
+	// observations.
+	byFloor := make(map[int][]string)
+	for id := range w.mean {
+		d, ok := tr.devs[id]
+		if !ok {
+			return Estimate{}, false, fmt.Errorf("positioning: measurement references unknown device %s", id)
+		}
+		byFloor[d.Floor] = append(byFloor[d.Floor], id)
+	}
+	bestFloor, bestN := 0, 0
+	for fl, ids := range byFloor {
+		if len(ids) > bestN || (len(ids) == bestN && fl < bestFloor) {
+			bestFloor, bestN = fl, len(ids)
+		}
+	}
+	if bestN < tr.cfg.MinDevices {
+		return Estimate{}, false, nil
+	}
+	ids := byFloor[bestFloor]
+	// Keep the strongest observations: weak signals invert to unreliable,
+	// inflated distances.
+	sort.Slice(ids, func(i, j int) bool {
+		if w.mean[ids[i]] != w.mean[ids[j]] {
+			return w.mean[ids[i]] > w.mean[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > tr.cfg.MaxDevices {
+		ids = ids[:tr.cfg.MaxDevices]
+	}
+
+	type circle struct {
+		c geom.Point
+		r float64
+	}
+	circles := make([]circle, 0, len(ids))
+	for _, id := range ids {
+		d := tr.devs[id]
+		r := tr.cfg.Convert(w.mean[id], d)
+		// A detected object is inside the detection range by construction;
+		// cap the inverted distance accordingly.
+		if max := d.Props.DetectionRange; max > 0 && r > max {
+			r = max
+		}
+		circles = append(circles, circle{c: d.Position, r: r})
+	}
+
+	// Linearize against the first circle:
+	//   2(xi-x0)x + 2(yi-y0)y = r0² - ri² + xi² - x0² + yi² - y0²
+	// and solve the 2x2 normal equations.
+	x0, y0, r0 := circles[0].c.X, circles[0].c.Y, circles[0].r
+	var a11, a12, a22, b1, b2 float64
+	for _, ci := range circles[1:] {
+		ax := 2 * (ci.c.X - x0)
+		ay := 2 * (ci.c.Y - y0)
+		rhs := r0*r0 - ci.r*ci.r + ci.c.X*ci.c.X - x0*x0 + ci.c.Y*ci.c.Y - y0*y0
+		a11 += ax * ax
+		a12 += ax * ay
+		a22 += ay * ay
+		b1 += ax * rhs
+		b2 += ay * rhs
+	}
+	det := a11*a22 - a12*a12
+	if math.Abs(det) < 1e-9 {
+		// Collinear devices: no unique intersection.
+		return Estimate{}, false, nil
+	}
+	x := (b1*a22 - b2*a12) / det
+	y := (a11*b2 - a12*b1) / det
+	pt := clampToFloor(tr.topo, bestFloor, geom.Pt(x, y))
+
+	loc := modelLocation(tr.topo, bestFloor, pt)
+	return Estimate{ObjID: w.objID, Loc: loc, T: w.t}, true, nil
+}
+
+// modelLocation builds the composite location (buildingID + floorID +
+// partition/point) for an estimated coordinate. Estimates falling outside
+// every partition keep an empty partition ID but remain valid coordinate
+// records.
+func modelLocation(t *topo.Topology, floor int, pt geom.Point) model.Location {
+	if p, ok := t.PartitionAt(floor, pt); ok {
+		return model.At(t.B.ID, floor, p.ID, pt)
+	}
+	return model.At(t.B.ID, floor, "", pt)
+}
+
+// clampToFloor pulls an estimate back into the floor's bounding box: an
+// indoor positioning system never reports a location outside the building.
+func clampToFloor(t *topo.Topology, floor int, pt geom.Point) geom.Point {
+	f, ok := t.B.Floor(floor)
+	if !ok {
+		return pt
+	}
+	bb := f.BBox()
+	if bb.IsEmpty() {
+		return pt
+	}
+	if pt.X < bb.Min.X {
+		pt.X = bb.Min.X
+	}
+	if pt.X > bb.Max.X {
+		pt.X = bb.Max.X
+	}
+	if pt.Y < bb.Min.Y {
+		pt.Y = bb.Min.Y
+	}
+	if pt.Y > bb.Max.Y {
+		pt.Y = bb.Max.Y
+	}
+	return pt
+}

@@ -1,0 +1,240 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/positioning"
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+// The CSV codecs persist the paper's record formats (§4.2):
+//
+//	trajectory:  o_id, building, floor, partition, x, y, t
+//	rssi:        o_id, d_id, rssi, t
+//	estimate:    o_id, building, floor, partition, x, y, t
+//	proximity:   o_id, d_id, ts, te
+
+// WriteTrajectoryCSV writes samples as CSV with a header row.
+func WriteTrajectoryCSV(w io.Writer, samples []trajectory.Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"o_id", "building", "floor", "partition", "x", "y", "t"}); err != nil {
+		return fmt.Errorf("storage: write trajectory header: %w", err)
+	}
+	for _, s := range samples {
+		rec := []string{
+			strconv.Itoa(s.ObjID),
+			s.Loc.Building,
+			strconv.Itoa(s.Loc.Floor),
+			s.Loc.Partition,
+			fmtF(s.Loc.Point.X),
+			fmtF(s.Loc.Point.Y),
+			fmtF(s.T),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("storage: write trajectory row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrajectoryCSV parses CSV written by WriteTrajectoryCSV.
+func ReadTrajectoryCSV(r io.Reader) ([]trajectory.Sample, error) {
+	rows, err := readAll(r, 7)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read trajectory: %w", err)
+	}
+	out := make([]trajectory.Sample, 0, len(rows))
+	for _, rec := range rows {
+		objID, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad o_id %q", rec[0])
+		}
+		floor, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad floor %q", rec[2])
+		}
+		x, y, t, err := parse3(rec[4], rec[5], rec[6])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, trajectory.Sample{
+			ObjID: objID,
+			Loc:   model.At(rec[1], floor, rec[3], geom.Pt(x, y)),
+			T:     t,
+		})
+	}
+	return out, nil
+}
+
+// WriteRSSICSV writes measurements as CSV with a header row.
+func WriteRSSICSV(w io.Writer, ms []rssi.Measurement) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"o_id", "d_id", "rssi", "t"}); err != nil {
+		return fmt.Errorf("storage: write rssi header: %w", err)
+	}
+	for _, m := range ms {
+		rec := []string{strconv.Itoa(m.ObjID), m.DeviceID, fmtF(m.RSSI), fmtF(m.T)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("storage: write rssi row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRSSICSV parses CSV written by WriteRSSICSV.
+func ReadRSSICSV(r io.Reader) ([]rssi.Measurement, error) {
+	rows, err := readAll(r, 4)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read rssi: %w", err)
+	}
+	out := make([]rssi.Measurement, 0, len(rows))
+	for _, rec := range rows {
+		objID, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad o_id %q", rec[0])
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad rssi %q", rec[2])
+		}
+		t, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad t %q", rec[3])
+		}
+		out = append(out, rssi.Measurement{ObjID: objID, DeviceID: rec[1], RSSI: v, T: t})
+	}
+	return out, nil
+}
+
+// WriteEstimateCSV writes positioning estimates as CSV with a header row.
+func WriteEstimateCSV(w io.Writer, es []positioning.Estimate) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"o_id", "building", "floor", "partition", "x", "y", "t"}); err != nil {
+		return fmt.Errorf("storage: write estimate header: %w", err)
+	}
+	for _, e := range es {
+		rec := []string{
+			strconv.Itoa(e.ObjID),
+			e.Loc.Building,
+			strconv.Itoa(e.Loc.Floor),
+			e.Loc.Partition,
+			fmtF(e.Loc.Point.X),
+			fmtF(e.Loc.Point.Y),
+			fmtF(e.T),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("storage: write estimate row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadEstimateCSV parses CSV written by WriteEstimateCSV.
+func ReadEstimateCSV(r io.Reader) ([]positioning.Estimate, error) {
+	rows, err := readAll(r, 7)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read estimate: %w", err)
+	}
+	out := make([]positioning.Estimate, 0, len(rows))
+	for _, rec := range rows {
+		objID, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad o_id %q", rec[0])
+		}
+		floor, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad floor %q", rec[2])
+		}
+		x, y, t, err := parse3(rec[4], rec[5], rec[6])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, positioning.Estimate{
+			ObjID: objID,
+			Loc:   model.At(rec[1], floor, rec[3], geom.Pt(x, y)),
+			T:     t,
+		})
+	}
+	return out, nil
+}
+
+// WriteProximityCSV writes proximity records as CSV with a header row.
+func WriteProximityCSV(w io.Writer, rs []positioning.ProximityRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"o_id", "d_id", "ts", "te"}); err != nil {
+		return fmt.Errorf("storage: write proximity header: %w", err)
+	}
+	for _, r := range rs {
+		rec := []string{strconv.Itoa(r.ObjID), r.DeviceID, fmtF(r.TS), fmtF(r.TE)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("storage: write proximity row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadProximityCSV parses CSV written by WriteProximityCSV.
+func ReadProximityCSV(r io.Reader) ([]positioning.ProximityRecord, error) {
+	rows, err := readAll(r, 4)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read proximity: %w", err)
+	}
+	out := make([]positioning.ProximityRecord, 0, len(rows))
+	for _, rec := range rows {
+		objID, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad o_id %q", rec[0])
+		}
+		ts, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad ts %q", rec[2])
+		}
+		te, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad te %q", rec[3])
+		}
+		out = append(out, positioning.ProximityRecord{ObjID: objID, DeviceID: rec[1], TS: ts, TE: te})
+	}
+	return out, nil
+}
+
+func readAll(r io.Reader, fields int) ([][]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = fields
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	return rows[1:], nil // skip header
+}
+
+func parse3(a, b, c string) (float64, float64, float64, error) {
+	x, err := strconv.ParseFloat(a, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("storage: bad number %q", a)
+	}
+	y, err := strconv.ParseFloat(b, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("storage: bad number %q", b)
+	}
+	t, err := strconv.ParseFloat(c, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("storage: bad number %q", c)
+	}
+	return x, y, t, nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"sort"
+
+	"vita/internal/trajectory"
+)
+
+// This file implements the "commonly used functions and query processing
+// algorithms" of the Data Stream APIs module (paper §2, Storage): the
+// aggregate queries indoor mobility analytics keeps asking of the generated
+// data — dwell times, partition flows, visit counts, population curves and
+// per-device load.
+
+// rootPartition collapses decomposed sub-partitions ("P.2") onto their
+// original DBI space ("P") so analytics aggregate at the granularity users
+// configured.
+func rootPartition(id string) string {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '.' {
+			return id[:i]
+		}
+	}
+	return id
+}
+
+// DwellTimes returns, per object, the total seconds spent in each (root)
+// partition, attributing each inter-sample gap to the partition of its
+// earlier sample.
+func DwellTimes(ts *TrajectoryStore) map[int]map[string]float64 {
+	out := make(map[int]map[string]float64)
+	for _, id := range ts.Objects() {
+		series := ts.Series(id)
+		if len(series) < 2 {
+			continue
+		}
+		acc := make(map[string]float64)
+		for i := 1; i < len(series); i++ {
+			acc[rootPartition(series[i-1].Loc.Partition)] += series[i].T - series[i-1].T
+		}
+		out[id] = acc
+	}
+	return out
+}
+
+// FlowMatrix returns the number of observed transitions between (root)
+// partitions across consecutive samples of each object. Self-transitions are
+// excluded.
+func FlowMatrix(ts *TrajectoryStore) map[string]map[string]int {
+	out := make(map[string]map[string]int)
+	for _, id := range ts.Objects() {
+		series := ts.Series(id)
+		for i := 1; i < len(series); i++ {
+			from := rootPartition(series[i-1].Loc.Partition)
+			to := rootPartition(series[i].Loc.Partition)
+			if from == to || from == "" || to == "" {
+				continue
+			}
+			if out[from] == nil {
+				out[from] = make(map[string]int)
+			}
+			out[from][to]++
+		}
+	}
+	return out
+}
+
+// VisitCounts returns, per (root) partition, how many distinct objects ever
+// appeared in it.
+func VisitCounts(ts *TrajectoryStore) map[string]int {
+	seen := make(map[string]map[int]bool)
+	ts.Scan(func(s trajectory.Sample) bool {
+		p := rootPartition(s.Loc.Partition)
+		if p == "" {
+			return true
+		}
+		if seen[p] == nil {
+			seen[p] = make(map[int]bool)
+		}
+		seen[p][s.ObjID] = true
+		return true
+	})
+	out := make(map[string]int, len(seen))
+	for p, objs := range seen {
+		out[p] = len(objs)
+	}
+	return out
+}
+
+// PopulationOverTime returns the number of distinct objects observed in each
+// time bucket of the given width, from t=0 to the last sample.
+func PopulationOverTime(ts *TrajectoryStore, bucket float64) []int {
+	if bucket <= 0 {
+		bucket = 60
+	}
+	var maxT float64
+	ts.Scan(func(s trajectory.Sample) bool {
+		if s.T > maxT {
+			maxT = s.T
+		}
+		return true
+	})
+	n := int(maxT/bucket) + 1
+	sets := make([]map[int]bool, n)
+	ts.Scan(func(s trajectory.Sample) bool {
+		i := int(s.T / bucket)
+		if sets[i] == nil {
+			sets[i] = make(map[int]bool)
+		}
+		sets[i][s.ObjID] = true
+		return true
+	})
+	out := make([]int, n)
+	for i, set := range sets {
+		out[i] = len(set)
+	}
+	return out
+}
+
+// TopPartitions returns the k partitions with the highest visit counts, most
+// visited first; ties break lexicographically.
+func TopPartitions(ts *TrajectoryStore, k int) []string {
+	counts := VisitCounts(ts)
+	keys := make([]string, 0, len(counts))
+	for p := range counts {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if k > 0 && len(keys) > k {
+		keys = keys[:k]
+	}
+	return keys
+}
+
+// DeviceLoad returns, per device, the number of RSSI measurements observed
+// in each time bucket of the given width.
+func DeviceLoad(rs *RSSIStore, bucket float64) map[string][]int {
+	if bucket <= 0 {
+		bucket = 60
+	}
+	all := rs.All()
+	var maxT float64
+	for _, m := range all {
+		if m.T > maxT {
+			maxT = m.T
+		}
+	}
+	n := int(maxT/bucket) + 1
+	out := make(map[string][]int)
+	for _, m := range all {
+		if out[m.DeviceID] == nil {
+			out[m.DeviceID] = make([]int, n)
+		}
+		out[m.DeviceID][int(m.T/bucket)]++
+	}
+	return out
+}

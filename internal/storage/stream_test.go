@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"testing"
+
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+func sampleIn(obj int, part string, t float64) trajectory.Sample {
+	return trajectory.Sample{
+		ObjID: obj,
+		Loc:   model.At("b", 0, part, geom.Pt(t, 0)),
+		T:     t,
+	}
+}
+
+// streamStore builds a small trajectory: object 1 moves A(0-10s) → B(15-20s),
+// object 2 stays in A.2 (a decomposed child of A) the whole time.
+func streamStore() *TrajectoryStore {
+	s := NewTrajectoryStore()
+	for t := 0.0; t <= 10; t += 5 {
+		s.Append(sampleIn(1, "A", t))
+	}
+	for t := 15.0; t <= 20; t += 5 {
+		s.Append(sampleIn(1, "B", t))
+	}
+	for t := 0.0; t <= 20; t += 5 {
+		s.Append(sampleIn(2, "A.2", t))
+	}
+	return s
+}
+
+func TestDwellTimes(t *testing.T) {
+	dt := DwellTimes(streamStore())
+	// Object 1: 0-10 in A, 10-15 gap attributed to A, 15-20 in B.
+	if got := dt[1]["A"]; got != 15 {
+		t.Errorf("obj1 dwell in A = %v, want 15", got)
+	}
+	if got := dt[1]["B"]; got != 5 {
+		t.Errorf("obj1 dwell in B = %v, want 5", got)
+	}
+	// Object 2: full 20s in root A (via child A.2).
+	if got := dt[2]["A"]; got != 20 {
+		t.Errorf("obj2 dwell in A = %v, want 20", got)
+	}
+}
+
+func TestFlowMatrix(t *testing.T) {
+	fm := FlowMatrix(streamStore())
+	if got := fm["A"]["B"]; got != 1 {
+		t.Errorf("A->B flow = %d, want 1", got)
+	}
+	if got := fm["B"]["A"]; got != 0 {
+		t.Errorf("B->A flow = %d, want 0", got)
+	}
+	// Self transitions (A.2 → A.2 collapses to A → A) excluded.
+	if _, ok := fm["A"]["A"]; ok {
+		t.Error("self transition recorded")
+	}
+}
+
+func TestVisitCountsAndTopPartitions(t *testing.T) {
+	s := streamStore()
+	vc := VisitCounts(s)
+	if vc["A"] != 2 {
+		t.Errorf("A visits = %d, want 2", vc["A"])
+	}
+	if vc["B"] != 1 {
+		t.Errorf("B visits = %d, want 1", vc["B"])
+	}
+	top := TopPartitions(s, 1)
+	if len(top) != 1 || top[0] != "A" {
+		t.Errorf("TopPartitions = %v", top)
+	}
+	all := TopPartitions(s, 0)
+	if len(all) != 2 {
+		t.Errorf("TopPartitions(0) = %v", all)
+	}
+}
+
+func TestPopulationOverTime(t *testing.T) {
+	pop := PopulationOverTime(streamStore(), 10)
+	// Buckets: [0,10): both objects; [10,20): both (1 in B from 15, 2 in A.2);
+	// [20,30): both at t=20.
+	if len(pop) != 3 {
+		t.Fatalf("buckets = %d", len(pop))
+	}
+	if pop[0] != 2 || pop[1] != 2 {
+		t.Errorf("population = %v", pop)
+	}
+}
+
+func TestDeviceLoad(t *testing.T) {
+	rs := NewRSSIStore()
+	for _, tm := range []float64{1, 2, 65, 70} {
+		rs.Append(rssi.Measurement{ObjID: 1, DeviceID: "d1", RSSI: -50, T: tm})
+	}
+	rs.Append(rssi.Measurement{ObjID: 1, DeviceID: "d2", RSSI: -50, T: 5})
+	load := DeviceLoad(rs, 60)
+	if got := load["d1"]; len(got) != 2 || got[0] != 2 || got[1] != 2 {
+		t.Errorf("d1 load = %v", got)
+	}
+	if got := load["d2"]; got[0] != 1 {
+		t.Errorf("d2 load = %v", got)
+	}
+}

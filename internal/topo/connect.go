@@ -1,0 +1,63 @@
+// Package topo derives Vita's geometrical/topological information from the
+// host indoor environment (paper §4.1): door→partition connectivity,
+// irregular-partition decomposition, the two-step staircase-linking
+// algorithm, and indoor routing by minimum walking distance or minimum
+// walking time (§3.1).
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"vita/internal/model"
+)
+
+// doorSnapTol is how close a door must be to a partition boundary to be
+// considered incident to it.
+const doorSnapTol = 0.3
+
+// ConnectDoors computes, for every door of the building, the (up to) two
+// partitions it connects, through topology and geometry computations. Doors
+// incident to fewer than two partitions get the exterior ("") on the open
+// side. It returns an error for doors incident to no partition at all.
+func ConnectDoors(b *model.Building) error {
+	for _, level := range b.FloorLevels() {
+		f := b.Floors[level]
+		for _, d := range f.Doors {
+			if err := connectDoor(f, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func connectDoor(f *model.Floor, d *model.Door) error {
+	type cand struct {
+		id   string
+		dist float64
+	}
+	var cands []cand
+	for _, p := range f.Partitions {
+		dist := p.Polygon.DistToBoundary(d.Position)
+		if dist <= doorSnapTol {
+			cands = append(cands, cand{id: p.ID, dist: dist})
+		}
+	}
+	if len(cands) == 0 {
+		return fmt.Errorf("topo: door %s on floor %d touches no partition boundary", d.ID, f.Level)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].id < cands[j].id
+	})
+	d.Partitions[0] = cands[0].id
+	if len(cands) > 1 {
+		d.Partitions[1] = cands[1].id
+	} else {
+		d.Partitions[1] = "" // exterior
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"vita/internal/geom"
+	"vita/internal/model"
+)
+
+// DecomposeOptions control the irregular-partition decomposition of §4.1:
+// "rooms or hallways with irregular shapes are decomposed into balanced,
+// smaller partitions according to their sizes and shapes".
+type DecomposeOptions struct {
+	// MaxArea splits any partition larger than this (m²). <= 0 disables the
+	// size criterion.
+	MaxArea float64
+	// MaxAspect splits any partition whose bounding-box aspect ratio exceeds
+	// this. <= 0 disables the shape criterion.
+	MaxAspect float64
+	// SplitNonConvex splits partitions with reflex vertices regardless of
+	// size.
+	SplitNonConvex bool
+	// MaxDepth bounds the recursion (a safety net for degenerate shapes).
+	MaxDepth int
+}
+
+// DefaultDecomposeOptions returns the defaults used by the toolkit.
+func DefaultDecomposeOptions() DecomposeOptions {
+	return DecomposeOptions{MaxArea: 120, MaxAspect: 4, SplitNonConvex: true, MaxDepth: 8}
+}
+
+// Decompose replaces every irregular partition of the building with balanced
+// sub-partitions, re-homes doors onto the resulting children, and inserts
+// pass-through virtual doors along each cut so routing across the original
+// space stays possible. It returns the number of partitions added (children
+// minus removed parents).
+func Decompose(b *model.Building, opts DecomposeOptions) (int, error) {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 8
+	}
+	added := 0
+	for _, level := range b.FloorLevels() {
+		f := b.Floors[level]
+		// Snapshot: we mutate f.Partitions while iterating.
+		originals := append([]*model.Partition(nil), f.Partitions...)
+		for _, p := range originals {
+			n, err := decomposePartition(f, p, opts)
+			if err != nil {
+				return added, err
+			}
+			added += n
+		}
+	}
+	return added, nil
+}
+
+func needsSplit(poly geom.Polygon, opts DecomposeOptions, depth int) bool {
+	if depth >= opts.MaxDepth {
+		return false
+	}
+	if opts.MaxArea > 0 && poly.Area() > opts.MaxArea {
+		return true
+	}
+	if opts.MaxAspect > 0 && poly.AspectRatio() > opts.MaxAspect {
+		return true
+	}
+	if opts.SplitNonConvex && !poly.IsConvex() {
+		return true
+	}
+	return false
+}
+
+func decomposePartition(f *model.Floor, p *model.Partition, opts DecomposeOptions) (int, error) {
+	if !needsSplit(p.Polygon, opts, 0) {
+		return 0, nil
+	}
+	parent := p.ID
+	if p.Parent != "" {
+		parent = p.Parent
+	}
+	pieces, cuts := splitRecursive(p.Polygon, opts, 0)
+	if len(pieces) <= 1 {
+		return 0, nil
+	}
+	if !f.RemovePartition(p.ID) {
+		return 0, fmt.Errorf("topo: decompose: partition %s vanished from floor %d", p.ID, f.Level)
+	}
+	children := make([]*model.Partition, len(pieces))
+	for i, poly := range pieces {
+		children[i] = &model.Partition{
+			ID:      fmt.Sprintf("%s.%d", p.ID, i+1),
+			Name:    p.Name,
+			Floor:   p.Floor,
+			Polygon: poly,
+			Kind:    p.Kind,
+			Parent:  parent,
+		}
+		if err := f.AddPartition(children[i]); err != nil {
+			return 0, err
+		}
+	}
+	rehomeDoors(f, p.ID, children)
+	addCutDoors(f, p.ID, cuts, children)
+	return len(children) - 1, nil
+}
+
+// splitRecursive splits poly until balanced, returning the pieces and the cut
+// segments introduced.
+func splitRecursive(poly geom.Polygon, opts DecomposeOptions, depth int) ([]geom.Polygon, []geom.Segment) {
+	if !needsSplit(poly, opts, depth) {
+		return []geom.Polygon{poly}, nil
+	}
+	bb := poly.BBox()
+	c := poly.Centroid()
+	var a, b geom.Point
+	if bb.Width() >= bb.Height() {
+		// Cut vertically through the centroid.
+		a, b = geom.Pt(c.X, bb.Min.Y-1), geom.Pt(c.X, bb.Max.Y+1)
+	} else {
+		a, b = geom.Pt(bb.Min.X-1, c.Y), geom.Pt(bb.Max.X+1, c.Y)
+	}
+	left, right := poly.SplitByLine(a, b)
+	if len(left) < 3 || len(right) < 3 ||
+		left.Area() < geom.Eps || right.Area() < geom.Eps {
+		return []geom.Polygon{poly}, nil
+	}
+	cut := cutSegment(left, a, b)
+	lp, lc := splitRecursive(left, opts, depth+1)
+	rp, rc := splitRecursive(right, opts, depth+1)
+	pieces := append(lp, rp...)
+	cuts := append([]geom.Segment{cut}, append(lc, rc...)...)
+	return pieces, cuts
+}
+
+// cutSegment returns the portion of the split line lying on the piece
+// boundary: the extreme boundary vertices of the piece that lie on the line
+// a→b.
+func cutSegment(piece geom.Polygon, a, b geom.Point) geom.Segment {
+	dir := b.Sub(a).Unit()
+	var onLine []geom.Point
+	for _, p := range piece {
+		if absDistToLine(p, a, dir) < 1e-6 {
+			onLine = append(onLine, p)
+		}
+	}
+	if len(onLine) < 2 {
+		return geom.Seg(a, b)
+	}
+	// Extremes along the line direction.
+	minT, maxT := onLine[0], onLine[0]
+	minV, maxV := onLine[0].Sub(a).Dot(dir), onLine[0].Sub(a).Dot(dir)
+	for _, p := range onLine[1:] {
+		t := p.Sub(a).Dot(dir)
+		if t < minV {
+			minV, minT = t, p
+		}
+		if t > maxV {
+			maxV, maxT = t, p
+		}
+	}
+	return geom.Seg(minT, maxT)
+}
+
+func absDistToLine(p, a, unitDir geom.Point) float64 {
+	d := unitDir.Cross(p.Sub(a))
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// rehomeDoors rewrites door partition references from the removed parent to
+// the child whose boundary hosts the door.
+func rehomeDoors(f *model.Floor, removedID string, children []*model.Partition) {
+	for _, d := range f.Doors {
+		for side := 0; side < 2; side++ {
+			if d.Partitions[side] != removedID {
+				continue
+			}
+			best := ""
+			bestDist := doorSnapTol
+			for _, c := range children {
+				if dd := c.Polygon.DistToBoundary(d.Position); dd <= bestDist {
+					best, bestDist = c.ID, dd
+				}
+			}
+			if best == "" && len(children) > 0 {
+				// Fall back to the nearest child.
+				best = children[0].ID
+				bd := children[0].Polygon.DistToBoundary(d.Position)
+				for _, c := range children[1:] {
+					if dd := c.Polygon.DistToBoundary(d.Position); dd < bd {
+						best, bd = c.ID, dd
+					}
+				}
+			}
+			d.Partitions[side] = best
+		}
+	}
+}
+
+// addCutDoors inserts a wide pass-through virtual door at the midpoint of
+// every cut, connecting the two children adjacent to it.
+func addCutDoors(f *model.Floor, parentID string, cuts []geom.Segment, children []*model.Partition) {
+	for i, cut := range cuts {
+		mid := cut.Midpoint()
+		var adj []*model.Partition
+		for _, c := range children {
+			if c.Polygon.DistToBoundary(mid) <= doorSnapTol {
+				adj = append(adj, c)
+			}
+		}
+		if len(adj) < 2 {
+			continue
+		}
+		sort.Slice(adj, func(x, y int) bool {
+			return adj[x].Polygon.DistToBoundary(mid) < adj[y].Polygon.DistToBoundary(mid)
+		})
+		f.Doors = append(f.Doors, &model.Door{
+			ID:         fmt.Sprintf("%s-cut%d", parentID, i+1),
+			Name:       "virtual pass-through",
+			Floor:      f.Level,
+			Position:   mid,
+			Width:      cut.Length(),
+			Partitions: [2]string{adj[0].ID, adj[1].ID},
+		})
+	}
+}

@@ -1,0 +1,138 @@
+// Package vita is a versatile toolkit for generating indoor mobility data
+// for real-world buildings — a Go reproduction of the system demonstrated in
+// "Vita: A Versatile Toolkit for Generating Indoor Mobility Data for
+// Real-World Buildings" (Li et al., PVLDB 9(13), 2016).
+//
+// The toolkit generates data in a three-layer pipeline:
+//
+//   - The Infrastructure Layer parses digital building information (DBI)
+//     files in an IFC STEP subset into a multi-floor indoor environment and
+//     deploys configurable positioning devices (Wi-Fi, Bluetooth, RFID) with
+//     coverage or check-point deployment models.
+//   - The Moving Object Layer generates moving objects (uniform or
+//     crowd-outliers initial distribution, bounded lifespans, Poisson
+//     arrivals, destination/random-way intentions, min-distance/min-time
+//     routing, walk-stay behavior) and their ground-truth raw trajectories
+//     at a configurable sampling frequency.
+//   - The Positioning Layer synthesizes raw RSSI measurements with a
+//     log-distance path loss model (wall-crossing obstacle noise + Gaussian
+//     fluctuation) and derives positioning data by trilateration,
+//     fingerprinting (kNN or naive Bayes) or proximity.
+//
+// Quick start:
+//
+//	cfg := vita.DefaultConfig()
+//	ds, err := vita.Generate(cfg)
+//	if err != nil { ... }
+//	fmt.Println(ds.Trajectories.Len(), "ground-truth samples")
+//	fmt.Println(ds.Estimates.Len(), "positioning estimates")
+//
+// See the examples directory for full scenarios.
+package vita
+
+import (
+	"io"
+
+	"vita/internal/core"
+	"vita/internal/ifc"
+	"vita/internal/positioning"
+	"vita/internal/storage"
+	"vita/internal/trajectory"
+)
+
+// Config is the full generation configuration; see core.Config for field
+// documentation. It loads from JSON via LoadConfig.
+type Config = core.Config
+
+// Sub-configurations of Config.
+type (
+	// BuildingConfig selects the DBI source and processing options.
+	BuildingConfig = core.BuildingConfig
+	// DeviceConfig deploys one batch of positioning devices.
+	DeviceConfig = core.DeviceConfig
+	// ObjectConfig configures the moving-object population.
+	ObjectConfig = core.ObjectConfig
+	// TrajectoryConfig configures ground-truth generation.
+	TrajectoryConfig = core.TrajectoryConfig
+	// RSSIConfig configures the path loss model and RSSI sampling.
+	RSSIConfig = core.RSSIConfig
+	// PositioningConfig selects and tunes the positioning method.
+	PositioningConfig = core.PositioningConfig
+)
+
+// Dataset bundles everything a run produced: the environment, devices, raw
+// trajectories (ground truth), raw RSSI, and positioning data.
+type Dataset = core.Dataset
+
+// Sample is one raw trajectory record (o_id, loc, t).
+type Sample = trajectory.Sample
+
+// Estimate is one deterministic positioning record (o_id, loc, t).
+type Estimate = positioning.Estimate
+
+// ProbEstimate is one probabilistic positioning record
+// (o_id, {(loc_i, prob_i)}, t).
+type ProbEstimate = positioning.ProbEstimate
+
+// ProximityRecord states that an object was detected by a device over
+// [ts, te].
+type ProximityRecord = positioning.ProximityRecord
+
+// ErrorStats summarizes positioning error against ground truth.
+type ErrorStats = core.ErrorStats
+
+// DefaultConfig returns a runnable configuration: the synthetic two-floor
+// office, Wi-Fi deployment, 40 objects for ten simulated minutes,
+// fingerprinting with kNN.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// LoadConfig reads a JSON configuration.
+func LoadConfig(r io.Reader) (Config, error) { return core.LoadConfig(r) }
+
+// Generate runs the full three-layer pipeline for the configuration.
+func Generate(cfg Config) (*Dataset, error) {
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}
+
+// EvaluateEstimates compares positioning estimates against the preserved
+// ground-truth trajectories, returning error statistics and the number of
+// floor mismatches.
+func EvaluateEstimates(truth *storage.TrajectoryStore, ests []Estimate) (ErrorStats, int) {
+	return core.EvaluateEstimates(truth, ests)
+}
+
+// PartitionHitRate returns the fraction of estimates whose partition matches
+// the ground truth (symbolic accuracy).
+func PartitionHitRate(truth *storage.TrajectoryStore, ests []Estimate) float64 {
+	return core.PartitionHitRate(truth, ests)
+}
+
+// OfficeIFC returns the synthetic two-floor office building as IFC text —
+// handy for writing a DBI file to disk and running with
+// Building.Source = "file:...".
+func OfficeIFC() string { return ifc.OfficeIFC() }
+
+// MallIFC returns the synthetic two-floor mall as IFC text.
+func MallIFC() string { return ifc.MallIFC() }
+
+// ClinicIFC returns the synthetic clinic as IFC text.
+func ClinicIFC() string { return ifc.ClinicIFC() }
+
+// WriteTrajectoryCSV persists raw trajectory samples as CSV.
+func WriteTrajectoryCSV(w io.Writer, samples []Sample) error {
+	return storage.WriteTrajectoryCSV(w, samples)
+}
+
+// WriteEstimateCSV persists positioning estimates as CSV.
+func WriteEstimateCSV(w io.Writer, ests []Estimate) error {
+	return storage.WriteEstimateCSV(w, ests)
+}
+
+// WriteProximityCSV persists proximity records as CSV.
+func WriteProximityCSV(w io.Writer, recs []ProximityRecord) error {
+	return storage.WriteProximityCSV(w, recs)
+}

@@ -1,0 +1,102 @@
+package vita
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGenerateDefault exercises the public API end to end.
+func TestGenerateDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trajectory.Duration = 60
+	cfg.Objects.Count = 5
+	cfg.Objects.MinLifespan = 30
+	cfg.Objects.MaxLifespan = 60
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Trajectories.Len() == 0 || ds.RSSI.Len() == 0 || ds.Estimates.Len() == 0 {
+		t.Fatalf("incomplete dataset: traj=%d rssi=%d est=%d",
+			ds.Trajectories.Len(), ds.RSSI.Len(), ds.Estimates.Len())
+	}
+	stats, _ := EvaluateEstimates(ds.Trajectories, ds.Estimates.All())
+	if stats.N == 0 {
+		t.Fatal("no evaluable estimates")
+	}
+	if hr := PartitionHitRate(ds.Trajectories, ds.Estimates.All()); hr <= 0 || hr > 1 {
+		t.Fatalf("partition hit rate out of range: %f", hr)
+	}
+}
+
+// TestIFCAccessors verifies the exported DBI texts parse back through the
+// pipeline when written to a file source.
+func TestIFCAccessors(t *testing.T) {
+	for name, text := range map[string]string{
+		"office": OfficeIFC(),
+		"mall":   MallIFC(),
+		"clinic": ClinicIFC(),
+	} {
+		if !strings.HasPrefix(text, "ISO-10303-21;") {
+			t.Errorf("%s: not a STEP file", name)
+		}
+		if !strings.Contains(text, "IFCSPACE") {
+			t.Errorf("%s: no spaces", name)
+		}
+	}
+}
+
+// TestLoadConfigPublic round-trips a config through the public loader.
+func TestLoadConfigPublic(t *testing.T) {
+	js := `{"seed": 3, "building": {"source": "synthetic:clinic"},
+	        "trajectory": {"duration": 30},
+	        "objects": {"count": 3, "min_lifespan": 20, "max_lifespan": 30, "max_speed": 1.0},
+	        "devices": [{"floor": 0, "model": "check-point", "type": "rfid"}],
+	        "positioning": {"method": "proximity"}}`
+	cfg, err := LoadConfig(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Proximity.Len() == 0 {
+		t.Fatal("no proximity records from loaded config")
+	}
+	var buf bytes.Buffer
+	if err := WriteProximityCSV(&buf, ds.Proximity.All()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "o_id,d_id,ts,te") {
+		t.Errorf("unexpected CSV header: %q", buf.String()[:40])
+	}
+}
+
+// TestCSVExports verifies the public CSV writers emit the paper's formats.
+func TestCSVExports(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trajectory.Duration = 30
+	cfg.Objects.Count = 3
+	cfg.Objects.MinLifespan = 20
+	cfg.Objects.MaxLifespan = 30
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrajectoryCSV(&buf, ds.Trajectories.All()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "o_id,building,floor,partition,x,y,t") {
+		t.Error("trajectory CSV header mismatch")
+	}
+	buf.Reset()
+	if err := WriteEstimateCSV(&buf, ds.Estimates.All()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "o_id,building,floor,partition,x,y,t") {
+		t.Error("estimate CSV header mismatch")
+	}
+}
