@@ -18,6 +18,7 @@ import (
 	"vita/internal/index"
 	"vita/internal/model"
 	"vita/internal/object"
+	"vita/internal/query"
 	"vita/internal/rng"
 	"vita/internal/rssi"
 	"vita/internal/topo"
@@ -188,6 +189,95 @@ func BenchmarkRTreeSearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = t.SearchPoint(geom.Pt(r.Range(0, 500), r.Range(0, 500)), buf[:0])
+	}
+}
+
+// --- query-engine benchmarks over real pipeline output ---
+
+// benchSamples generates one deterministic trajectory dataset (40 objects,
+// 300 simulated seconds) shared by the query benchmarks.
+func benchSamples(b *testing.B) []trajectory.Sample {
+	b.Helper()
+	t := officeTopoB(b)
+	sp, err := object.NewSpawner(t, object.SpawnConfig{
+		InitialCount: 40,
+		MinLifespan:  300, MaxLifespan: 300,
+		MaxSpeed: 1.6,
+		Pattern:  object.DefaultPattern(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := trajectory.NewEngine(t, sp, trajectory.Config{
+		Duration: 300, Tick: 0.25, SampleInterval: 1,
+	}, rng.New(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var samples []trajectory.Sample
+	if _, err := eng.Run(func(s trajectory.Sample) { samples = append(samples, s) }); err != nil {
+		b.Fatal(err)
+	}
+	return samples
+}
+
+// BenchmarkQueryIndexBuild measures building the spatio-temporal index from
+// generated samples.
+func BenchmarkQueryIndexBuild(b *testing.B) {
+	samples := benchSamples(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = query.NewTrajectoryIndex(samples, query.DefaultOptions())
+	}
+}
+
+// BenchmarkQueryRange measures one spatial-range × time-window query.
+func BenchmarkQueryRange(b *testing.B) {
+	ix := query.NewTrajectoryIndex(benchSamples(b), query.DefaultOptions())
+	box := geom.BBox{Min: geom.Pt(2, 2), Max: geom.Pt(14, 10)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Range(0, box, 100, 160)
+	}
+}
+
+// BenchmarkQueryKNN measures one 5-NN query at an instant with
+// interpolation.
+func BenchmarkQueryKNN(b *testing.B) {
+	ix := query.NewTrajectoryIndex(benchSamples(b), query.DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.KNN(0, geom.Pt(20, 10), 150, 5)
+	}
+}
+
+// BenchmarkQueryDensity measures one per-partition snapshot-density query.
+func BenchmarkQueryDensity(b *testing.B) {
+	ix := query.NewTrajectoryIndex(benchSamples(b), query.DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Density(150)
+	}
+}
+
+// BenchmarkQueryContinuous measures streaming the full dataset through four
+// standing range queries.
+func BenchmarkQueryContinuous(b *testing.B) {
+	samples := benchSamples(b)
+	box := geom.BBox{Min: geom.Pt(2, 2), Max: geom.Pt(14, 10)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := query.NewContinuousEngine()
+		for fl := 0; fl < 2; fl++ {
+			eng.Subscribe(fl, box, func(query.Event) {})
+			eng.Subscribe(fl, box.Expand(5), func(query.Event) {})
+		}
+		eng.FeedAll(samples)
 	}
 }
 

@@ -1,0 +1,246 @@
+// Command vitaquery serves spatio-temporal queries over the CSV output of
+// vitagen. It loads trajectory.csv from the data directory, builds the
+// time-bucketed R-tree index of internal/query, and answers one query per
+// invocation:
+//
+//	vitaquery -data out range -floor 0 -box 0,0,20,15 -t0 0 -t1 120
+//	vitaquery -data out knn -floor 0 -at 10,7.5 -t 60 -k 5
+//	vitaquery -data out density -t 60
+//	vitaquery -data out traj -obj 3 -t0 0 -t1 300
+//	vitaquery -data out watch -floor 0 -box 0,0,20,15
+//	vitaquery -data out info
+//
+// watch replays the dataset sample-by-sample through a standing range query
+// and prints every enter/move/exit transition — the online half of the
+// engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vita/internal/geom"
+	"vita/internal/query"
+	"vita/internal/storage"
+	"vita/internal/trajectory"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vitaquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dataDir := flag.String("data", "out", "directory holding vitagen CSV output")
+	bucket := flag.Float64("bucket", 60, "index time-bucket width in seconds")
+	maxGap := flag.Float64("maxgap", 10, "max sample gap in seconds for instant queries")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("missing subcommand: range | knn | density | traj | watch | info")
+	}
+
+	samples, err := loadSamples(filepath.Join(*dataDir, "trajectory.csv"))
+	if err != nil {
+		return err
+	}
+	opts := query.Options{BucketWidth: *bucket, MaxGap: *maxGap}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "range":
+		return runRange(samples, opts, args)
+	case "knn":
+		return runKNN(samples, opts, args)
+	case "density":
+		return runDensity(samples, opts, args)
+	case "traj":
+		return runTraj(samples, opts, args)
+	case "watch":
+		return runWatch(samples, args)
+	case "info":
+		return runInfo(samples, opts)
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+func loadSamples(path string) ([]trajectory.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return storage.ReadTrajectoryCSV(f)
+}
+
+// parseBox parses "x0,y0,x1,y1".
+func parseBox(s string) (geom.BBox, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.BBox{}, fmt.Errorf("bad box %q, want x0,y0,x1,y1", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.BBox{}, fmt.Errorf("bad box coordinate %q", p)
+		}
+		v[i] = f
+	}
+	return geom.BBox{Min: geom.Pt(v[0], v[1]), Max: geom.Pt(v[2], v[3])}, nil
+}
+
+// parsePoint parses "x,y".
+func parsePoint(s string) (geom.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return geom.Point{}, fmt.Errorf("bad point %q, want x,y", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("bad point coordinate %q", parts[0])
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("bad point coordinate %q", parts[1])
+	}
+	return geom.Pt(x, y), nil
+}
+
+func runRange(samples []trajectory.Sample, opts query.Options, args []string) error {
+	fs := flag.NewFlagSet("range", flag.ExitOnError)
+	floor := fs.Int("floor", -1, "floor to search (-1 = all)")
+	boxStr := fs.String("box", "", "spatial box x0,y0,x1,y1 (required)")
+	t0 := fs.Float64("t0", 0, "window start (s)")
+	t1 := fs.Float64("t1", 0, "window end (s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	box, err := parseBox(*boxStr)
+	if err != nil {
+		return err
+	}
+	ix := query.NewTrajectoryIndex(samples, opts)
+	hits := ix.Range(*floor, box, *t0, *t1)
+	for _, s := range hits {
+		fmt.Printf("obj %-4d t %8.2f  %s\n", s.ObjID, s.T, s.Loc)
+	}
+	fmt.Printf("%d samples, %d distinct objects in %v × [%g, %g]\n",
+		len(hits), len(ix.RangeObjects(*floor, box, *t0, *t1)), box, *t0, *t1)
+	return nil
+}
+
+func runKNN(samples []trajectory.Sample, opts query.Options, args []string) error {
+	fs := flag.NewFlagSet("knn", flag.ExitOnError)
+	floor := fs.Int("floor", 0, "floor to search")
+	atStr := fs.String("at", "", "query point x,y (required)")
+	t := fs.Float64("t", 0, "query instant (s)")
+	k := fs.Int("k", 5, "number of neighbors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parsePoint(*atStr)
+	if err != nil {
+		return err
+	}
+	ix := query.NewTrajectoryIndex(samples, opts)
+	for i, n := range ix.KNN(*floor, p, *t, *k) {
+		fmt.Printf("#%d  obj %-4d dist %6.2fm  %s\n", i+1, n.ObjID, n.Dist, n.Loc)
+	}
+	return nil
+}
+
+func runDensity(samples []trajectory.Sample, opts query.Options, args []string) error {
+	fs := flag.NewFlagSet("density", flag.ExitOnError)
+	t := fs.Float64("t", 0, "snapshot instant (s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ix := query.NewTrajectoryIndex(samples, opts)
+	dens := ix.Density(*t)
+	parts := make([]string, 0, len(dens))
+	for p := range dens {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		if dens[parts[i]] != dens[parts[j]] {
+			return dens[parts[i]] > dens[parts[j]]
+		}
+		return parts[i] < parts[j]
+	})
+	total := 0
+	for _, p := range parts {
+		fmt.Printf("%-16s %d\n", p, dens[p])
+		total += dens[p]
+	}
+	fmt.Printf("%d objects in %d partitions at t=%g\n", total, len(parts), *t)
+	return nil
+}
+
+func runTraj(samples []trajectory.Sample, opts query.Options, args []string) error {
+	fs := flag.NewFlagSet("traj", flag.ExitOnError)
+	obj := fs.Int("obj", 0, "object ID")
+	t0 := fs.Float64("t0", 0, "window start (s)")
+	t1 := fs.Float64("t1", 1e18, "window end (s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ix := query.NewTrajectoryIndex(samples, opts)
+	ser := ix.ObjectTrajectory(*obj, *t0, *t1)
+	for _, s := range ser {
+		fmt.Printf("t %8.2f  %s\n", s.T, s.Loc)
+	}
+	fmt.Printf("%d samples for object %d\n", len(ser), *obj)
+	return nil
+}
+
+func runWatch(samples []trajectory.Sample, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	floor := fs.Int("floor", -1, "floor to watch (-1 = all)")
+	boxStr := fs.String("box", "", "spatial box x0,y0,x1,y1 (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	box, err := parseBox(*boxStr)
+	if err != nil {
+		return err
+	}
+	// Replay in global time order so the transition log reads like a live
+	// feed.
+	ordered := make([]trajectory.Sample, len(samples))
+	copy(ordered, samples)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].T < ordered[j].T })
+
+	eng := query.NewContinuousEngine()
+	events := 0
+	sub := eng.Subscribe(*floor, box, func(e query.Event) {
+		if e.Kind == query.Move {
+			return // only log boundary crossings
+		}
+		events++
+		fmt.Printf("t %8.2f  %-5s obj %-4d %s\n", e.Sample.T, e.Kind, e.Sample.ObjID, e.Sample.Loc)
+	})
+	eng.FeedAll(ordered)
+	fmt.Printf("%d enter/exit events; %d objects inside at end of replay\n", events, len(sub.Inside()))
+	return nil
+}
+
+func runInfo(samples []trajectory.Sample, opts query.Options) error {
+	ix := query.NewTrajectoryIndex(samples, opts)
+	t0, t1, ok := ix.TimeSpan()
+	if !ok {
+		fmt.Println("empty dataset")
+		return nil
+	}
+	fmt.Printf("samples   %d\n", ix.Len())
+	fmt.Printf("objects   %d\n", len(ix.Objects()))
+	fmt.Printf("floors    %v\n", ix.Floors())
+	fmt.Printf("time span [%g, %g] s\n", t0, t1)
+	return nil
+}

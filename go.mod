@@ -1,0 +1,3 @@
+module vita
+
+go 1.24

@@ -49,18 +49,17 @@ func (t *RTree) Len() int { return t.size }
 // Bounds returns the bounding box of all items.
 func (t *RTree) Bounds() geom.BBox { return t.root.bounds }
 
-// Insert adds item to the tree.
+// Insert adds item to the tree. Bounds are enlarged along the single
+// root-to-leaf descent path and splits propagate back up that same path, so
+// one insert touches O(depth) nodes rather than the whole tree.
 func (t *RTree) Insert(item Item) {
-	n := t.chooseLeaf(t.root, item.Bounds())
-	n.items = append(n.items, item)
-	n.bounds = n.bounds.Union(item.Bounds())
-	t.size++
-	t.splitUpward(n)
-	t.refreshBounds(t.root)
-}
-
-func (t *RTree) chooseLeaf(n *rnode, b geom.BBox) *rnode {
+	b := item.Bounds()
+	// Descend to a leaf, enlarging bounds and recording the path.
+	path := make([]*rnode, 0, 8)
+	n := t.root
+	n.bounds = n.bounds.Union(b)
 	for !n.leaf {
+		path = append(path, n)
 		best := n.children[0]
 		bestGrow := math.Inf(1)
 		for _, c := range n.children {
@@ -72,48 +71,27 @@ func (t *RTree) chooseLeaf(n *rnode, b geom.BBox) *rnode {
 		best.bounds = best.bounds.Union(b)
 		n = best
 	}
-	return n
-}
-
-// splitUpward handles node overflow by rebuilding the path. For simplicity
-// and robustness we locate the parent chain by search from the root.
-func (t *RTree) splitUpward(n *rnode) {
-	if len(n.items) <= maxEntries && len(n.children) <= maxEntries {
-		return
-	}
-	parent, ok := t.findParent(t.root, n)
-	a, b := splitNode(n)
-	if !ok {
-		// n is the root.
-		t.root = &rnode{leaf: false, children: []*rnode{a, b}}
-		t.refreshBounds(t.root)
-		return
-	}
-	for i, c := range parent.children {
-		if c == n {
-			parent.children[i] = a
-			break
+	n.items = append(n.items, item)
+	t.size++
+	// Split upward along the recorded path. A split preserves the union of
+	// the node's entries, so ancestor bounds stay valid.
+	for len(n.items) > maxEntries || len(n.children) > maxEntries {
+		a, bb := splitNode(n)
+		if len(path) == 0 {
+			t.root = &rnode{leaf: false, children: []*rnode{a, bb}, bounds: a.bounds.Union(bb.bounds)}
+			return
 		}
-	}
-	parent.children = append(parent.children, b)
-	t.splitUpward(parent)
-}
-
-func (t *RTree) findParent(cur, target *rnode) (*rnode, bool) {
-	if cur.leaf {
-		return nil, false
-	}
-	for _, c := range cur.children {
-		if c == target {
-			return cur, true
-		}
-		if c.bounds.ContainsBBox(target.bounds) || c.bounds.Intersects(target.bounds) {
-			if p, ok := t.findParent(c, target); ok {
-				return p, true
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		for i, c := range parent.children {
+			if c == n {
+				parent.children[i] = a
+				break
 			}
 		}
+		parent.children = append(parent.children, bb)
+		n = parent
 	}
-	return nil, false
 }
 
 func splitNode(n *rnode) (*rnode, *rnode) {

@@ -1,0 +1,56 @@
+package index
+
+import (
+	"testing"
+
+	"vita/internal/geom"
+	"vita/internal/rng"
+)
+
+// BenchmarkRTreeInsert measures dynamic insertion cost. Bound maintenance
+// happens along the single descent path, so per-insert cost stays O(depth)
+// instead of the former full-tree refresh (O(n) per insert).
+func BenchmarkRTreeInsert(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(itoa(n), func(b *testing.B) {
+			items := randomItems(rng.New(7), n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree := NewRTree()
+				for _, it := range items {
+					tree.Insert(it)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRTreeInsertSearchMixed interleaves inserts with point queries, the
+// pattern of a store that indexes samples while serving lookups.
+func BenchmarkRTreeInsertSearchMixed(b *testing.B) {
+	items := randomItems(rng.New(8), 5000)
+	r := rng.New(9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := NewRTree()
+		var buf []Item
+		for j, it := range items {
+			tree.Insert(it)
+			if j%8 == 0 {
+				buf = tree.SearchPoint(geom.Pt(r.Range(0, 1000), r.Range(0, 1000)), buf[:0])
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	switch n {
+	case 1000:
+		return "n=1000"
+	case 10000:
+		return "n=10000"
+	}
+	return "n"
+}

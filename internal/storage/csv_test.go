@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/positioning"
+	"vita/internal/rng"
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+// Exhaustive Write*CSV → Read*CSV round-trips: every field must survive,
+// including string fields that need CSV quoting and values at the 4-decimal
+// precision the writers emit.
+
+func TestTrajectoryCSVRoundTripAllFields(t *testing.T) {
+	in := []trajectory.Sample{
+		{ObjID: 0, Loc: model.At("office", 0, "F0-HALL.2", geom.Pt(0, 0)), T: 0},
+		{ObjID: 41, Loc: model.At("mall, west wing", 3, `P "atrium"`, geom.Pt(12.3456, -7.0001)), T: 359.25},
+		{ObjID: 7, Loc: model.At("b", -1, "", geom.Pt(0.0001, 9999.9999)), T: 0.0001},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrajectoryCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrajectoryCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("rows: got %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ObjID != in[i].ObjID ||
+			out[i].Loc.Building != in[i].Loc.Building ||
+			out[i].Loc.Floor != in[i].Loc.Floor ||
+			out[i].Loc.Partition != in[i].Loc.Partition ||
+			out[i].Loc.Point != in[i].Loc.Point ||
+			out[i].T != in[i].T {
+			t.Errorf("row %d: got %+v, want %+v", i, out[i], in[i])
+		}
+		if !out[i].Loc.HasPoint {
+			t.Errorf("row %d lost HasPoint", i)
+		}
+	}
+}
+
+func TestRSSICSVRoundTripAllFields(t *testing.T) {
+	in := []rssi.Measurement{
+		{ObjID: 0, DeviceID: "wifi-0", RSSI: -30, T: 0},
+		{ObjID: 12, DeviceID: `d,"quoted"`, RSSI: -99.1234, T: 599.5},
+		{ObjID: 3, DeviceID: "bt-7", RSSI: 0.0001, T: 0.25},
+	}
+	var buf bytes.Buffer
+	if err := WriteRSSICSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRSSICSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("rows: got %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("row %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestEstimateCSVRoundTripAllFields(t *testing.T) {
+	in := []positioning.Estimate{
+		{ObjID: 5, Loc: model.At("office", 1, "F1-N2.1", geom.Pt(33.25, 17.75)), T: 42.5},
+		{ObjID: 6, Loc: model.At("clinic", 0, "waiting, room", geom.Pt(-1.5, 0)), T: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteEstimateCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEstimateCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("rows: got %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ObjID != in[i].ObjID ||
+			out[i].Loc.Building != in[i].Loc.Building ||
+			out[i].Loc.Floor != in[i].Loc.Floor ||
+			out[i].Loc.Partition != in[i].Loc.Partition ||
+			out[i].Loc.Point != in[i].Loc.Point ||
+			out[i].T != in[i].T {
+			t.Errorf("row %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestProximityCSVRoundTripAllFields(t *testing.T) {
+	in := []positioning.ProximityRecord{
+		{ObjID: 1, DeviceID: "rfid-3", TS: 0, TE: 12.75},
+		{ObjID: 2, DeviceID: "rfid-3", TS: 100.0001, TE: 100.0002},
+	}
+	var buf bytes.Buffer
+	if err := WriteProximityCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadProximityCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("rows: got %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("row %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// TestCSVRoundTripGenerated round-trips a larger randomized batch at the
+// writers' 4-decimal precision.
+func TestCSVRoundTripGenerated(t *testing.T) {
+	r := rng.New(99)
+	q := func(v float64) float64 { return float64(int(v*10000)) / 10000 } // 4-decimal grid
+	in := make([]trajectory.Sample, 500)
+	for i := range in {
+		in[i] = trajectory.Sample{
+			ObjID: r.Intn(50),
+			Loc: model.At("office", r.Intn(3), "P", geom.Pt(
+				q(r.Range(-100, 100)), q(r.Range(-100, 100)))),
+			T: q(r.Range(0, 600)),
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTrajectoryCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrajectoryCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("rows: got %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("row %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestCSVEmptyRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrajectoryCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := ReadTrajectoryCSV(&buf); err != nil || len(out) != 0 {
+		t.Fatalf("empty trajectory round trip: %v, %d rows", err, len(out))
+	}
+	// A completely empty reader (no header) is not an error either.
+	if out, err := ReadEstimateCSV(strings.NewReader("")); err != nil || len(out) != 0 {
+		t.Fatalf("empty estimate read: %v, %d rows", err, len(out))
+	}
+}

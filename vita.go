@@ -36,6 +36,7 @@ import (
 	"vita/internal/core"
 	"vita/internal/ifc"
 	"vita/internal/positioning"
+	"vita/internal/query"
 	"vita/internal/storage"
 	"vita/internal/trajectory"
 )
@@ -127,6 +128,12 @@ func WriteTrajectoryCSV(w io.Writer, samples []Sample) error {
 	return storage.WriteTrajectoryCSV(w, samples)
 }
 
+// ReadTrajectoryCSV parses CSV written by WriteTrajectoryCSV — the input to
+// the query engine when serving a previously generated dataset.
+func ReadTrajectoryCSV(r io.Reader) ([]Sample, error) {
+	return storage.ReadTrajectoryCSV(r)
+}
+
 // WriteEstimateCSV persists positioning estimates as CSV.
 func WriteEstimateCSV(w io.Writer, ests []Estimate) error {
 	return storage.WriteEstimateCSV(w, ests)
@@ -136,3 +143,48 @@ func WriteEstimateCSV(w io.Writer, ests []Estimate) error {
 func WriteProximityCSV(w io.Writer, recs []ProximityRecord) error {
 	return storage.WriteProximityCSV(w, recs)
 }
+
+// --- spatio-temporal query engine (internal/query) ---
+
+// TrajectoryIndex answers spatio-temporal queries (range × time window,
+// kNN-at-instant, snapshot density, trajectory retrieval) over generated
+// trajectory samples. Build with NewTrajectoryIndex.
+type TrajectoryIndex = query.TrajectoryIndex
+
+// QueryOptions tunes the query index layout (time-bucket width,
+// interpolation gap).
+type QueryOptions = query.Options
+
+// Neighbor is one kNN result.
+type Neighbor = query.Neighbor
+
+// ContinuousEngine evaluates standing range queries over streamed samples.
+type ContinuousEngine = query.ContinuousEngine
+
+// QueryEvent is one continuous-query notification (enter/move/exit).
+type QueryEvent = query.Event
+
+// Subscription is one standing range query registered with a
+// ContinuousEngine.
+type Subscription = query.Subscription
+
+// Continuous-query transition kinds.
+const (
+	QueryEnter = query.Enter
+	QueryMove  = query.Move
+	QueryExit  = query.Exit
+)
+
+// DefaultQueryOptions returns the default query-index layout.
+func DefaultQueryOptions() QueryOptions { return query.DefaultOptions() }
+
+// NewTrajectoryIndex builds a spatio-temporal index over samples — either a
+// fresh Dataset's ds.Trajectories.All() or samples loaded back from CSV with
+// ReadTrajectoryCSV.
+func NewTrajectoryIndex(samples []Sample, opts QueryOptions) *TrajectoryIndex {
+	return query.NewTrajectoryIndex(samples, opts)
+}
+
+// NewContinuousEngine returns an engine for standing range queries; feed it
+// samples as they stream in.
+func NewContinuousEngine() *ContinuousEngine { return query.NewContinuousEngine() }

@@ -74,6 +74,73 @@ func TestLoadConfigPublic(t *testing.T) {
 	}
 }
 
+// TestQueryEngine drives the public query API end to end: generate a
+// dataset, persist it to CSV, load it back, and answer each query type.
+func TestQueryEngine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Trajectory.Duration = 120
+	cfg.Objects.Count = 10
+	cfg.Objects.MinLifespan = 100
+	cfg.Objects.MaxLifespan = 120
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through CSV, as cmd/vitaquery does.
+	var buf bytes.Buffer
+	if err := WriteTrajectoryCSV(&buf, ds.Trajectories.All()); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ReadTrajectoryCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != ds.Trajectories.Len() {
+		t.Fatalf("CSV round trip lost samples: %d vs %d", len(samples), ds.Trajectories.Len())
+	}
+
+	ix := NewTrajectoryIndex(samples, DefaultQueryOptions())
+	t0, t1, ok := ix.TimeSpan()
+	if !ok || t1 <= t0 {
+		t.Fatalf("TimeSpan = [%v, %v] ok=%v", t0, t1, ok)
+	}
+	bounds := ds.Building.Floors[0].BBox()
+	if hits := ix.Range(0, bounds, t0, t1); len(hits) == 0 {
+		t.Fatal("full-floor range query empty")
+	}
+	mid := (t0 + t1) / 2
+	if nn := ix.KNN(0, bounds.Center(), mid, 3); len(nn) == 0 {
+		t.Fatal("kNN query empty")
+	}
+	if dens := ix.Density(mid); len(dens) == 0 {
+		t.Fatal("density query empty")
+	}
+	objs := ix.Objects()
+	if len(objs) == 0 {
+		t.Fatal("no indexed objects")
+	}
+	if ser := ix.ObjectTrajectory(objs[0], t0, t1); len(ser) == 0 {
+		t.Fatal("object trajectory empty")
+	}
+
+	// Standing query over the replayed stream.
+	eng := NewContinuousEngine()
+	var events int
+	eng.Subscribe(-1, bounds, func(e QueryEvent) {
+		if e.Kind == QueryEnter {
+			events++
+		}
+	})
+	for _, s := range samples {
+		eng.Feed(s)
+	}
+	if events == 0 {
+		t.Fatal("continuous query saw no enters")
+	}
+}
+
 // TestCSVExports verifies the public CSV writers emit the paper's formats.
 func TestCSVExports(t *testing.T) {
 	cfg := DefaultConfig()
