@@ -9,6 +9,7 @@ package vita
 // cmd/vitabench prints the same experiments as human-readable tables.
 
 import (
+	"fmt"
 	"testing"
 
 	"vita/internal/device"
@@ -84,6 +85,36 @@ func BenchmarkAblationRadioMapDensity(b *testing.B) {
 // BenchmarkAblationDecomposition regenerates A4.
 func BenchmarkAblationDecomposition(b *testing.B) {
 	benchExperiment(b, experiments.AblationDecomposition)
+}
+
+// BenchmarkPipeline measures generation throughput (trajectory + RSSI, the
+// sharded hot path; positioning skipped) at several Parallelism settings.
+// The p=1 case is the sequential baseline; output is byte-identical across
+// all settings, so the sub-benchmarks differ only in wall clock. On a
+// multi-core host p=4 should approach a 4x speedup (Amdahl-limited by the
+// ~0.5ms serial topology build and the serialized merge emit).
+func BenchmarkPipeline(b *testing.B) {
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Parallelism = p
+			cfg.Objects.Count = 80
+			cfg.Objects.MinLifespan = 300
+			cfg.Objects.MaxLifespan = 600
+			cfg.Trajectory.Duration = 600
+			cfg.Positioning = PositioningConfig{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ds, err := Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ds.Trajectories.Len() == 0 || ds.RSSI.Len() == 0 {
+					b.Fatal("empty generation output")
+				}
+			}
+		})
+	}
 }
 
 // --- micro-benchmarks for the hot substrates ---

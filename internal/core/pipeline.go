@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"vita/internal/device"
@@ -58,7 +59,19 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if cfg.Trajectory.Duration <= 0 {
 		return nil, fmt.Errorf("core: config has non-positive duration")
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("core: negative parallelism")
+	}
 	return &Pipeline{cfg: cfg}, nil
+}
+
+// Parallelism returns the effective worker count of the run: the configured
+// value, or GOMAXPROCS when unset.
+func (p *Pipeline) Parallelism() int {
+	if p.cfg.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.cfg.Parallelism
 }
 
 // Run executes the full pipeline: DBI processing, device deployment, object
@@ -93,7 +106,11 @@ func (p *Pipeline) Run() (*Dataset, error) {
 	}
 
 	// ----- Moving Object Layer -----
-	objCtl := MovingObjectController{Objects: p.cfg.Objects, Trajectory: p.cfg.Trajectory}
+	objCtl := MovingObjectController{
+		Objects:     p.cfg.Objects,
+		Trajectory:  p.cfg.Trajectory,
+		Parallelism: p.Parallelism(),
+	}
 	stats, err := objCtl.Generate(topology, r.Split(), ds.Trajectories.Append)
 	if err != nil {
 		return nil, err
@@ -101,7 +118,7 @@ func (p *Pipeline) Run() (*Dataset, error) {
 	ds.TrajectoryStats = stats
 
 	// ----- Positioning Layer -----
-	rssiCtl := RSSIMeasurementController{Config: p.cfg.RSSI}
+	rssiCtl := RSSIMeasurementController{Config: p.cfg.RSSI, Parallelism: p.Parallelism()}
 	if _, err := rssiCtl.Generate(topology, devs, ds.Trajectories.All(), r.Split(), ds.RSSI.Append); err != nil {
 		return nil, err
 	}
@@ -261,9 +278,14 @@ func (c PositioningDeviceController) Deploy(t *topo.Topology, r *rng.Rand) ([]*d
 type MovingObjectController struct {
 	Objects    ObjectConfig
 	Trajectory TrajectoryConfig
+	// Parallelism shards objects across this many workers (0 = GOMAXPROCS);
+	// output is identical for any value.
+	Parallelism int
 }
 
-// Generate runs the movement engine, emitting samples to emit.
+// Generate runs the movement engine, emitting samples to emit in global
+// time order (the streaming collector's guarantee). With Parallelism > 1,
+// emit may be called from worker goroutines, but never concurrently.
 func (c MovingObjectController) Generate(t *topo.Topology, r *rng.Rand, emit func(trajectory.Sample)) (trajectory.Stats, error) {
 	pattern, err := c.Objects.pattern()
 	if err != nil {
@@ -301,6 +323,7 @@ func (c MovingObjectController) Generate(t *topo.Topology, r *rng.Rand, emit fun
 		Tick:           c.Trajectory.Tick,
 		SampleInterval: c.Trajectory.SampleInterval,
 		Speed:          topo.DefaultSpeedModel(),
+		Parallelism:    c.Parallelism,
 	}, r)
 	if err != nil {
 		return trajectory.Stats{}, err
@@ -312,6 +335,9 @@ func (c MovingObjectController) Generate(t *topo.Topology, r *rng.Rand, emit fun
 // layer 3).
 type RSSIMeasurementController struct {
 	Config RSSIConfig
+	// Parallelism shards object replays across this many workers
+	// (0 = GOMAXPROCS); output is identical for any value.
+	Parallelism int
 }
 
 // Generate replays trajectories against devices.
@@ -320,6 +346,7 @@ func (c RSSIMeasurementController) Generate(t *topo.Topology, devs []*device.Dev
 	gen, err := rssi.NewGenerator(t, devs, rssi.Config{
 		Model:          c.Config.model(),
 		SampleInterval: c.Config.SampleInterval,
+		Parallelism:    c.Parallelism,
 	})
 	if err != nil {
 		return 0, err

@@ -86,6 +86,26 @@ func (s *Spawner) Initial(r *rng.Rand) ([]*Object, error) {
 	return out, nil
 }
 
+// ScheduleUntil materializes the full population of a run up-front: the t=0
+// population followed by every Poisson arrival in (0, duration]. Because the
+// arrival process is a chain of exponential inter-arrival draws, the object
+// set (IDs, birth times, lifespans, speeds, initial locations) is identical
+// to what incremental ArrivalsUntil calls over the same period would
+// produce. Knowing the whole roster before simulation starts is what lets
+// the trajectory engine shard objects across workers and merge their sample
+// streams in time order.
+func (s *Spawner) ScheduleUntil(duration float64, r *rng.Rand) ([]*Object, error) {
+	out, err := s.Initial(r)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := s.ArrivalsUntil(0, duration, r)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, arrivals...), nil
+}
+
 // ArrivalsUntil creates the objects arriving in (prev, now] per the Poisson
 // process.
 func (s *Spawner) ArrivalsUntil(prev, now float64, r *rng.Rand) ([]*Object, error) {

@@ -193,6 +193,10 @@ type Fingerprinting struct {
 	cfg  FingerprintConfig
 	rm   *RadioMap
 	devs map[string]*device.Device
+	// refKeys caches each reference point's device IDs in sorted order, so
+	// the per-(window × reference) scoring loops accumulate floats in a
+	// stable order without re-sorting map keys on every call.
+	refKeys [][]string
 }
 
 // NewFingerprinting builds the method for the deployment that produced the
@@ -211,7 +215,11 @@ func NewFingerprinting(rm *RadioMap, devs []*device.Device, cfg FingerprintConfi
 	if cfg.SampleInterval <= 0 {
 		cfg.SampleInterval = 2
 	}
-	return &Fingerprinting{cfg: cfg, rm: rm, devs: idx}, nil
+	refKeys := make([][]string, len(rm.Refs))
+	for i, ref := range rm.Refs {
+		refKeys[i] = sortedKeys(ref.Mean)
+	}
+	return &Fingerprinting{cfg: cfg, rm: rm, devs: idx, refKeys: refKeys}, nil
 }
 
 // Estimate runs the deterministic algorithm (KNN, or the Bayes argmax when
@@ -259,12 +267,14 @@ func (fp *Fingerprinting) knnWindow(w window) (Estimate, bool) {
 		i    int
 		dist float64
 	}
+	floor := fp.majorityFloorOf(w)
+	obsKeys := sortedKeys(w.mean)
 	var cands []scored
 	for i, ref := range fp.rm.Refs {
-		if ref.Loc.Floor != fp.majorityFloorOf(w) {
+		if ref.Loc.Floor != floor {
 			continue
 		}
-		d, n := fp.signalDistance(w.mean, ref)
+		d, n := fp.signalDistance(w.mean, obsKeys, ref, fp.refKeys[i])
 		if n == 0 {
 			continue
 		}
@@ -300,6 +310,7 @@ func (fp *Fingerprinting) knnWindow(w window) (Estimate, bool) {
 // bayesWindow computes the naive Bayes posterior over reference locations.
 func (fp *Fingerprinting) bayesWindow(w window) (ProbEstimate, bool) {
 	floor := fp.majorityFloorOf(w)
+	obsKeys := sortedKeys(w.mean)
 	type scored struct {
 		i    int
 		logp float64
@@ -309,7 +320,7 @@ func (fp *Fingerprinting) bayesWindow(w window) (ProbEstimate, bool) {
 		if ref.Loc.Floor != floor {
 			continue
 		}
-		logp, n := fp.logLikelihood(w.mean, ref)
+		logp, n := fp.logLikelihood(w.mean, obsKeys, ref)
 		if n == 0 {
 			continue
 		}
@@ -351,10 +362,14 @@ func (fp *Fingerprinting) bayesWindow(w window) (ProbEstimate, bool) {
 // devices heard by the window and the reference, substituting MissingRSSI
 // for unheard devices. It returns the distance and the number of devices
 // compared.
-func (fp *Fingerprinting) signalDistance(obs map[string]float64, ref RefPoint) (float64, int) {
+func (fp *Fingerprinting) signalDistance(obs map[string]float64, obsKeys []string, ref RefPoint, refKeys []string) (float64, int) {
+	// Iterate both maps through pre-sorted key slices: float accumulation
+	// must not depend on Go's randomized map order, or identical runs drift
+	// in the low bits and break the toolkit's seed-determinism guarantee.
 	var sum float64
 	n := 0
-	for id, v := range obs {
+	for _, id := range obsKeys {
+		v := obs[id]
 		mean, ok := ref.Mean[id]
 		if !ok {
 			mean = fp.rm.MissingRSSI
@@ -363,11 +378,11 @@ func (fp *Fingerprinting) signalDistance(obs map[string]float64, ref RefPoint) (
 		sum += d * d
 		n++
 	}
-	for id, mean := range ref.Mean {
+	for _, id := range refKeys {
 		if _, ok := obs[id]; ok {
 			continue
 		}
-		d := fp.rm.MissingRSSI - mean
+		d := fp.rm.MissingRSSI - ref.Mean[id]
 		sum += d * d
 		n++
 	}
@@ -377,12 +392,24 @@ func (fp *Fingerprinting) signalDistance(obs map[string]float64, ref RefPoint) (
 	return math.Sqrt(sum / float64(n)), n
 }
 
+// sortedKeys returns m's keys in ascending order, for order-stable float
+// accumulation.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // logLikelihood is the Gaussian naive Bayes log likelihood of the observed
 // fingerprint at the reference point.
-func (fp *Fingerprinting) logLikelihood(obs map[string]float64, ref RefPoint) (float64, int) {
+func (fp *Fingerprinting) logLikelihood(obs map[string]float64, obsKeys []string, ref RefPoint) (float64, int) {
 	var lp float64
 	n := 0
-	for id, v := range obs {
+	for _, id := range obsKeys {
+		v := obs[id]
 		mean, ok := ref.Mean[id]
 		sd := ref.Stddev[id]
 		if !ok {

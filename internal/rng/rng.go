@@ -31,6 +31,42 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0x9e3779b97f4a7c15)
 }
 
+// mix64 is the SplitMix64 finalizer: a bijective avalanche function used to
+// scatter stream keys so that numerically adjacent inputs yield unrelated
+// generator states.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Streams is a family of statistically independent generators keyed by an
+// integer id. Unlike repeated Split calls, Stream(i) is a pure function of
+// (family key, i): streams can be materialized in any order, from any
+// goroutine, and the result is identical — the property parallel sharded
+// generation relies on for worker-count-independent reproducibility.
+type Streams struct {
+	key uint64
+}
+
+// Streams consumes exactly one value from r and returns the derived family.
+// Two calls on the same parent state yield different families.
+func (r *Rand) Streams() Streams {
+	return Streams{key: r.Uint64()}
+}
+
+// NewStreams returns the stream family keyed directly by key — for callers
+// that manage seeds themselves.
+func NewStreams(key uint64) Streams { return Streams{key: key} }
+
+// Stream returns the generator for id i. Every call with the same i returns
+// a fresh generator positioned at the start of the same sequence. The id is
+// passed through mix64 before keying so that consecutive ids (object 1, 2,
+// 3, ...) do not produce shifted copies of one SplitMix64 sequence.
+func (s Streams) Stream(i uint64) *Rand {
+	return New(mix64(s.key ^ mix64(i^0xd1342543de82ef95)))
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

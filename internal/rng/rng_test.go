@@ -191,3 +191,95 @@ func TestBoolProbability(t *testing.T) {
 		t.Errorf("Bool(0.25) frequency = %v", frac)
 	}
 }
+
+func TestStreamsDeterministic(t *testing.T) {
+	a := New(42).Streams()
+	b := New(42).Streams()
+	for i := uint64(0); i < 8; i++ {
+		ra, rb := a.Stream(i), b.Stream(i)
+		for k := 0; k < 16; k++ {
+			if va, vb := ra.Uint64(), rb.Uint64(); va != vb {
+				t.Fatalf("stream %d draw %d differs: %x vs %x", i, k, va, vb)
+			}
+		}
+	}
+}
+
+func TestStreamsOrderIndependent(t *testing.T) {
+	s := New(7).Streams()
+	// Materializing streams in different orders must not change them.
+	forward := make([]uint64, 8)
+	for i := uint64(0); i < 8; i++ {
+		forward[i] = s.Stream(i).Uint64()
+	}
+	for i := uint64(8); i > 0; i-- {
+		if v := s.Stream(i - 1).Uint64(); v != forward[i-1] {
+			t.Fatalf("stream %d differs when created in reverse order", i-1)
+		}
+	}
+}
+
+func TestStreamsConsumesOneParentDraw(t *testing.T) {
+	a, b := New(9), New(9)
+	a.Streams()
+	b.Uint64()
+	if a.Uint64() != b.Uint64() {
+		t.Error("Streams must consume exactly one parent draw")
+	}
+}
+
+func TestStreamsAdjacentIDsDecorrelated(t *testing.T) {
+	// SplitMix64 states that differ by the additive constant produce shifted
+	// copies of one sequence; Stream must avoid that for consecutive ids.
+	s := New(3).Streams()
+	const n = 64
+	seq := make(map[uint64][]uint64)
+	for i := uint64(0); i < 4; i++ {
+		r := s.Stream(i)
+		out := make([]uint64, n)
+		for k := range out {
+			out[k] = r.Uint64()
+		}
+		seq[i] = out
+	}
+	for i := uint64(0); i < 3; i++ {
+		shifted := 0
+		for k := 0; k+1 < n; k++ {
+			if seq[i][k+1] == seq[i+1][k] || seq[i][k] == seq[i+1][k] {
+				shifted++
+			}
+		}
+		if shifted > 0 {
+			t.Errorf("streams %d and %d share %d aligned values", i, i+1, shifted)
+		}
+	}
+}
+
+func TestStreamsDistinctFamilies(t *testing.T) {
+	r := New(11)
+	f1 := r.Streams()
+	f2 := r.Streams()
+	if f1.Stream(0).Uint64() == f2.Stream(0).Uint64() {
+		t.Error("two families from one parent produced identical streams")
+	}
+	if NewStreams(5).Stream(1).Uint64() != NewStreams(5).Stream(1).Uint64() {
+		t.Error("NewStreams not deterministic")
+	}
+}
+
+func TestStreamStatisticalUniformity(t *testing.T) {
+	// Pooled output of many per-id streams should still be uniform.
+	s := New(17).Streams()
+	const streams, per = 64, 256
+	var sum float64
+	for i := uint64(0); i < streams; i++ {
+		r := s.Stream(i)
+		for k := 0; k < per; k++ {
+			sum += r.Float64()
+		}
+	}
+	mean := sum / (streams * per)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("pooled stream mean = %v, want ~0.5", mean)
+	}
+}

@@ -1,0 +1,141 @@
+package rssi
+
+import (
+	"fmt"
+	"testing"
+
+	"vita/internal/device"
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/rng"
+	"vita/internal/trajectory"
+)
+
+// benchTrajectories builds a multi-object walk past a grid of devices.
+func benchTrajectories(n, steps int) []trajectory.Sample {
+	var out []trajectory.Sample
+	for id := 1; id <= n; id++ {
+		for i := 0; i <= steps; i++ {
+			out = append(out, trajectory.Sample{
+				ObjID: id,
+				Loc:   model.At("office", 0, "F0-S0", geom.Pt(float64(i%30), float64(2+id%15))),
+				T:     float64(i),
+			})
+		}
+	}
+	return out
+}
+
+func gridDevices(n int) []*device.Device {
+	devs := make([]*device.Device, n)
+	for i := range devs {
+		props := device.DefaultProperties(device.WiFi)
+		props.SampleInterval = 1
+		devs[i] = &device.Device{
+			ID: fmt.Sprintf("d%02d", i), Type: device.WiFi, Floor: 0,
+			Position: geom.Pt(float64(3+(i%5)*7), float64(3+(i/5)*6)),
+			Props:    props,
+		}
+	}
+	return devs
+}
+
+// TestGenerateParallelIdentical asserts the RSSI reproducibility guarantee:
+// the same seed yields byte-identical measurements for any worker count.
+func TestGenerateParallelIdentical(t *testing.T) {
+	tp := officeTopo(t)
+	traj := benchTrajectories(9, 60)
+	devs := gridDevices(8)
+
+	run := func(p int) []Measurement {
+		gen, err := NewGenerator(tp, devs, Config{Model: DefaultPathLossModel(), Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ms []Measurement
+		n, err := gen.Generate(traj, rng.New(11), func(m Measurement) { ms = append(ms, m) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(ms) {
+			t.Fatalf("count %d != emitted %d", n, len(ms))
+		}
+		return ms
+	}
+
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("no measurements generated")
+	}
+	for _, p := range []int{2, 4, 8} {
+		got := run(p)
+		if len(got) != len(base) {
+			t.Fatalf("parallelism %d: %d measurements, sequential %d", p, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("parallelism %d: measurement %d differs: %+v vs %+v", p, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestGenerateEmitOrder asserts the documented emission order: ascending
+// object ID, and per (object, device) ascending time.
+func TestGenerateEmitOrder(t *testing.T) {
+	tp := officeTopo(t)
+	gen, err := NewGenerator(tp, gridDevices(6), Config{Model: DefaultPathLossModel(), Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []Measurement
+	if _, err := gen.Generate(benchTrajectories(7, 40), rng.New(2), func(m Measurement) { ms = append(ms, m) }); err != nil {
+		t.Fatal(err)
+	}
+	lastObj := 0
+	lastT := map[[2]string]float64{}
+	for _, m := range ms {
+		if m.ObjID < lastObj {
+			t.Fatalf("object order violated: %d after %d", m.ObjID, lastObj)
+		}
+		if m.ObjID > lastObj {
+			lastObj = m.ObjID
+			lastT = map[[2]string]float64{}
+		}
+		key := [2]string{fmt.Sprint(m.ObjID), m.DeviceID}
+		if prev, ok := lastT[key]; ok && m.T <= prev {
+			t.Fatalf("time order violated for obj %d dev %s: %v after %v", m.ObjID, m.DeviceID, m.T, prev)
+		}
+		lastT[key] = m.T
+	}
+}
+
+func TestNewGeneratorRejectsNegativeParallelism(t *testing.T) {
+	tp := officeTopo(t)
+	if _, err := NewGenerator(tp, nil, Config{Model: DefaultPathLossModel(), Parallelism: -2}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+}
+
+// BenchmarkGenerate measures RSSI synthesis at several worker counts over a
+// fixed 40-object, 120-second replay against 12 devices.
+func BenchmarkGenerate(b *testing.B) {
+	tp := officeTopo(b)
+	traj := benchTrajectories(40, 120)
+	devs := gridDevices(12)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			gen, err := NewGenerator(tp, devs, Config{Model: DefaultPathLossModel(), Parallelism: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gen.Generate(traj, rng.New(uint64(i+1)), func(Measurement) {}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

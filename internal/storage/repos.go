@@ -20,23 +20,53 @@ import (
 
 // TrajectoryStore keeps raw trajectory records (o_id, loc, t) ordered by
 // time per object. It is safe for concurrent appends.
+//
+// Invariant: every read path (Series, All, Scan, and the stream aggregates
+// built on them) requires each object's series to be time-sorted. Appends
+// arriving in per-object time order — what the generation pipeline's
+// order-preserving collector guarantees — keep the invariant for free; an
+// out-of-order append is detected in O(1) and flags the series so the next
+// read repairs it with an explicit sort. Readers therefore never observe
+// unsorted data, and the common in-order case never pays for sorting.
 type TrajectoryStore struct {
 	mu    sync.RWMutex
 	byObj map[int][]trajectory.Sample
+	// lastT tracks each object's newest timestamp; dirty marks objects whose
+	// appends violated time order and whose series must be sorted on read.
+	lastT map[int]float64
+	dirty map[int]bool
 	count int
 }
 
 // NewTrajectoryStore returns an empty store.
 func NewTrajectoryStore() *TrajectoryStore {
-	return &TrajectoryStore{byObj: make(map[int][]trajectory.Sample)}
+	return &TrajectoryStore{
+		byObj: make(map[int][]trajectory.Sample),
+		lastT: make(map[int]float64),
+		dirty: make(map[int]bool),
+	}
 }
 
-// Append adds one sample.
+// Append adds one sample. Appending in per-object time order is the fast
+// path; an out-of-order sample marks the object's series for lazy sorting.
 func (s *TrajectoryStore) Append(sm trajectory.Sample) {
 	s.mu.Lock()
+	if last, ok := s.lastT[sm.ObjID]; !ok || sm.T >= last {
+		s.lastT[sm.ObjID] = sm.T
+	} else {
+		s.dirty[sm.ObjID] = true
+	}
 	s.byObj[sm.ObjID] = append(s.byObj[sm.ObjID], sm)
 	s.count++
 	s.mu.Unlock()
+}
+
+// Unsorted returns how many objects currently hold out-of-order series —
+// diagnostics for the time-sorted invariant above (0 for pipeline output).
+func (s *TrajectoryStore) Unsorted() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.dirty)
 }
 
 // Len returns the number of stored samples.
@@ -58,14 +88,33 @@ func (s *TrajectoryStore) Objects() []int {
 	return out
 }
 
-// Series returns the time-ordered samples of one object.
+// Series returns the time-ordered samples of one object. Series stored in
+// time order (the pipeline's guarantee) are returned as a plain copy; a
+// series flagged by an out-of-order Append is repaired in place with one
+// stable sort and unflagged, so only the first read after a violation pays
+// for sorting.
 func (s *TrajectoryStore) Series(objID int) []trajectory.Sample {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.dirty[objID] {
+		src := s.byObj[objID]
+		out := make([]trajectory.Sample, len(src))
+		copy(out, src)
+		s.mu.RUnlock()
+		return out
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirty[objID] { // re-check: another reader may have repaired it
+		src := s.byObj[objID]
+		sort.SliceStable(src, func(i, j int) bool { return src[i].T < src[j].T })
+		s.lastT[objID] = src[len(src)-1].T
+		delete(s.dirty, objID)
+	}
 	src := s.byObj[objID]
 	out := make([]trajectory.Sample, len(src))
 	copy(out, src)
-	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
 	return out
 }
 

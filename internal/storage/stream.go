@@ -11,6 +11,15 @@ import (
 // aggregate queries indoor mobility analytics keeps asking of the generated
 // data — dwell times, partition flows, visit counts, population curves and
 // per-device load.
+//
+// Every aggregate that walks consecutive samples (DwellTimes, FlowMatrix)
+// assumes each object's series is time-sorted; a transition computed from an
+// unsorted series would attribute negative dwell or phantom flows. The
+// aggregates read through TrajectoryStore.Series, which enforces that
+// invariant: series appended in time order (what the generation pipeline's
+// order-preserving collector emits) pass through untouched, and series
+// flagged by an out-of-order append are sorted before use. See the
+// TrajectoryStore invariant note in repos.go.
 
 // rootPartition collapses decomposed sub-partitions ("P.2") onto their
 // original DBI space ("P") so analytics aggregate at the granularity users

@@ -107,3 +107,101 @@ func TestDeviceLoad(t *testing.T) {
 		t.Errorf("d2 load = %v", got)
 	}
 }
+
+// TestAggregatesToleratOutOfOrderAppends is the regression test for the
+// time-sorted invariant: appending samples out of time order must flag the
+// series, and every aggregate must still compute as if the samples had
+// arrived sorted.
+func TestAggregatesTolerateOutOfOrderAppends(t *testing.T) {
+	sorted := streamStore()
+
+	shuffled := NewTrajectoryStore()
+	// Same samples as streamStore, object 1 appended in reversed time order.
+	for t := 20.0; t >= 15; t -= 5 {
+		shuffled.Append(sampleIn(1, "B", t))
+	}
+	for t := 10.0; t >= 0; t -= 5 {
+		shuffled.Append(sampleIn(1, "A", t))
+	}
+	for t := 0.0; t <= 20; t += 5 {
+		shuffled.Append(sampleIn(2, "A.2", t))
+	}
+
+	if shuffled.Unsorted() != 1 {
+		t.Fatalf("Unsorted() = %d, want 1 (object 1 out of order)", shuffled.Unsorted())
+	}
+	if sorted.Unsorted() != 0 {
+		t.Fatalf("in-order store flagged %d unsorted objects", sorted.Unsorted())
+	}
+
+	a, b := DwellTimes(sorted), DwellTimes(shuffled)
+	for obj, want := range a {
+		for part, w := range want {
+			if got := b[obj][part]; got != w {
+				t.Errorf("dwell obj %d part %s = %v, want %v", obj, part, got, w)
+			}
+		}
+	}
+	fa, fb := FlowMatrix(sorted), FlowMatrix(shuffled)
+	if fb["A"]["B"] != fa["A"]["B"] || fb["B"]["A"] != fa["B"]["A"] {
+		t.Errorf("flows differ: sorted %v vs shuffled %v", fa, fb)
+	}
+
+	// Series itself must come back time-sorted.
+	series := shuffled.Series(1)
+	for i := 1; i < len(series); i++ {
+		if series[i].T < series[i-1].T {
+			t.Fatalf("Series(1) not sorted at %d: %v after %v", i, series[i].T, series[i-1].T)
+		}
+	}
+}
+
+// TestSeriesFastPathPreservesOrder pins the fast path: in-order appends are
+// returned exactly as inserted, without a repair sort.
+func TestSeriesFastPathPreservesOrder(t *testing.T) {
+	s := NewTrajectoryStore()
+	for i := 0; i <= 10; i++ {
+		s.Append(sampleIn(3, "A", float64(i)))
+	}
+	if s.Unsorted() != 0 {
+		t.Fatalf("in-order appends flagged dirty")
+	}
+	series := s.Series(3)
+	if len(series) != 11 {
+		t.Fatalf("len = %d", len(series))
+	}
+	for i, sm := range series {
+		if sm.T != float64(i) {
+			t.Fatalf("series[%d].T = %v", i, sm.T)
+		}
+	}
+}
+
+// TestSeriesRepairPersists pins that the repair sort runs once: the first
+// read of a flagged series fixes it in place and clears the flag.
+func TestSeriesRepairPersists(t *testing.T) {
+	s := NewTrajectoryStore()
+	s.Append(sampleIn(1, "A", 10))
+	s.Append(sampleIn(1, "A", 5)) // out of order
+	s.Append(sampleIn(1, "A", 7)) // still out of order vs lastT=10
+	if s.Unsorted() != 1 {
+		t.Fatalf("Unsorted() = %d, want 1", s.Unsorted())
+	}
+	series := s.Series(1)
+	for i := 1; i < len(series); i++ {
+		if series[i].T < series[i-1].T {
+			t.Fatalf("Series not sorted: %v after %v", series[i].T, series[i-1].T)
+		}
+	}
+	if s.Unsorted() != 0 {
+		t.Errorf("repair not persisted: Unsorted() = %d after read", s.Unsorted())
+	}
+	// In-order appends after the repair must not re-flag the series.
+	s.Append(sampleIn(1, "A", 12))
+	if s.Unsorted() != 0 {
+		t.Errorf("in-order append after repair re-flagged the series")
+	}
+	if got := s.Series(1); got[len(got)-1].T != 12 {
+		t.Errorf("last sample T = %v, want 12", got[len(got)-1].T)
+	}
+}

@@ -1,0 +1,230 @@
+package trajectory
+
+import (
+	"sort"
+	"testing"
+
+	"vita/internal/object"
+	"vita/internal/rng"
+)
+
+func runEngineP(t testing.TB, seed uint64, parallelism int, spawn object.SpawnConfig) ([]Sample, Stats) {
+	t.Helper()
+	tp := officeTopo(t)
+	sp, err := object.NewSpawner(tp, spawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(tp, sp, Config{
+		Duration: 120, SampleInterval: 1, Parallelism: parallelism,
+	}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []Sample
+	stats, err := eng.Run(func(s Sample) { samples = append(samples, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples, stats
+}
+
+// TestParallelIdenticalToSequential is the core reproducibility guarantee of
+// sharded generation: any worker count produces the exact same samples, in
+// the exact same order, with the exact same stats.
+func TestParallelIdenticalToSequential(t *testing.T) {
+	spawn := defaultSpawn()
+	spawn.InitialCount = 12
+	spawn.ArrivalRate = 0.05 // exercise mid-run births across shards
+	spawn.MinLifespan, spawn.MaxLifespan = 40, 110
+
+	base, baseStats := runEngineP(t, 77, 1, spawn)
+	if len(base) == 0 {
+		t.Fatal("no samples from sequential run")
+	}
+	for _, p := range []int{2, 4, 8} {
+		got, gotStats := runEngineP(t, 77, p, spawn)
+		if len(got) != len(base) {
+			t.Fatalf("parallelism %d: %d samples, sequential %d", p, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("parallelism %d: sample %d differs: %+v vs %+v", p, i, got[i], base[i])
+			}
+		}
+		if gotStats != baseStats {
+			t.Errorf("parallelism %d: stats differ: %+v vs %+v", p, gotStats, baseStats)
+		}
+	}
+}
+
+// TestParallelEmitOrder asserts the documented global emit order:
+// nondecreasing time, ties broken by ascending object ID.
+func TestParallelEmitOrder(t *testing.T) {
+	spawn := defaultSpawn()
+	spawn.InitialCount = 10
+	spawn.ArrivalRate = 0.05
+	spawn.MinLifespan, spawn.MaxLifespan = 40, 110
+	samples, _ := runEngineP(t, 5, 4, spawn)
+	for i := 1; i < len(samples); i++ {
+		a, b := samples[i-1], samples[i]
+		if b.T < a.T || (b.T == a.T && b.ObjID <= a.ObjID) {
+			t.Fatalf("emit order violated at %d: (%v,%d) then (%v,%d)", i, a.T, a.ObjID, b.T, b.ObjID)
+		}
+	}
+}
+
+// TestParallelNilEmit keeps the benchmark path (movement work only) working
+// under parallelism, with the same stats as the emitting run.
+func TestParallelNilEmit(t *testing.T) {
+	tp := officeTopo(t)
+	for _, p := range []int{1, 4} {
+		sp, err := object.NewSpawner(tp, defaultSpawn())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(tp, sp, Config{Duration: 60, SampleInterval: 1, Parallelism: p}, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := eng.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Samples == 0 {
+			t.Errorf("parallelism %d: nil-emit run counted no samples", p)
+		}
+	}
+}
+
+func TestConfigParallelismValidation(t *testing.T) {
+	tp := officeTopo(t)
+	sp, err := object.NewSpawner(tp, defaultSpawn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(tp, sp, Config{Duration: 10, Parallelism: -1}, rng.New(1)); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	if (Config{Parallelism: 0}).workers() < 1 {
+		t.Error("zero parallelism must resolve to at least one worker")
+	}
+}
+
+func TestScheduleUntilMatchesIncrementalArrivals(t *testing.T) {
+	tp := officeTopo(t)
+	spawn := defaultSpawn()
+	spawn.ArrivalRate = 0.1
+
+	mk := func() *object.Spawner {
+		sp, err := object.NewSpawner(tp, spawn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	all, err := mk().ScheduleUntil(120, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Incremental ticked arrivals over the same stream must yield the same
+	// roster: same IDs, births, lifespans, speeds, start locations.
+	r := rng.New(9)
+	sp := mk()
+	inc, err := sp.Initial(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for tt := 0.25; tt <= 120; tt += 0.25 {
+		batch, err := sp.ArrivalsUntil(prev, tt, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc = append(inc, batch...)
+		prev = tt
+	}
+	if len(all) != len(inc) {
+		t.Fatalf("roster sizes differ: schedule %d vs incremental %d", len(all), len(inc))
+	}
+	if len(all) <= spawn.InitialCount {
+		t.Fatalf("no arrivals scheduled (got %d objects)", len(all))
+	}
+	for i := range all {
+		a, b := all[i], inc[i]
+		if a.ID != b.ID || a.Birth != b.Birth || a.Lifespan != b.Lifespan ||
+			a.MaxSpeed != b.MaxSpeed || a.Loc != b.Loc {
+			t.Fatalf("object %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// --- collector unit tests ---
+
+func s(obj int, t float64) Sample { return Sample{ObjID: obj, T: t} }
+
+func TestCollectorMergesTimeSorted(t *testing.T) {
+	var got []Sample
+	c := NewCollector(func(sm Sample) { got = append(got, sm) })
+	c.Expect(1, 0)
+	c.Expect(2, 0)
+	c.Expect(3, 50)
+
+	// Deliver out of object order; nothing may be emitted past the pending
+	// watermark (object 2 still out, birth 0).
+	c.Deliver(3, []Sample{s(3, 50), s(3, 60)})
+	c.Deliver(1, []Sample{s(1, 0), s(1, 10), s(1, 55)})
+	if len(got) != 0 {
+		t.Fatalf("emitted %d samples while object 2 (birth 0) pending", len(got))
+	}
+	c.Deliver(2, []Sample{s(2, 0), s(2, 10), s(2, 20)})
+	c.Close()
+
+	want := []Sample{
+		s(1, 0), s(2, 0), s(1, 10), s(2, 10), s(2, 20), s(3, 50), s(1, 55), s(3, 60),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("emitted %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if c.Emitted() != len(want) {
+		t.Errorf("Emitted() = %d, want %d", c.Emitted(), len(want))
+	}
+}
+
+func TestCollectorStreamsBeforeCompletion(t *testing.T) {
+	var got []Sample
+	c := NewCollector(func(sm Sample) { got = append(got, sm) })
+	c.Expect(1, 0)
+	c.Expect(2, 100)
+	c.Deliver(1, []Sample{s(1, 0), s(1, 50), s(1, 150)})
+	// Object 2 is born at t=100: everything before that is already safe.
+	if len(got) != 2 {
+		t.Fatalf("expected the 2 pre-watermark samples to stream out, got %d", len(got))
+	}
+	c.Deliver(2, []Sample{s(2, 100)})
+	if len(got) != 4 {
+		t.Fatalf("expected full drain after last delivery, got %d", len(got))
+	}
+}
+
+func TestCollectorEmptyStreams(t *testing.T) {
+	var got []Sample
+	c := NewCollector(func(sm Sample) { got = append(got, sm) })
+	c.Expect(1, 0)
+	c.Expect(2, 10)
+	c.Deliver(2, nil) // died before its first sample instant
+	c.Deliver(1, []Sample{s(1, 0), s(1, 20)})
+	c.Close()
+	if len(got) != 2 {
+		t.Fatalf("emitted %d, want 2", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].T < got[j].T }) {
+		t.Error("merged output not time-sorted")
+	}
+}
