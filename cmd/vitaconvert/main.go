@@ -1,0 +1,192 @@
+// Command vitaconvert converts Vita bulk data files between the CSV record
+// format and the VTB columnar binary store, in either direction:
+//
+//	vitaconvert -in out/trajectory.vtb -out out/trajectory.csv
+//	vitaconvert -in out/rssi.csv -out out/rssi.vtb
+//
+// The input encoding is detected by magic bytes; its record kind comes from
+// the VTB header or, for CSV, from the header row (trajectory/estimate
+// columns vs RSSI columns). The output encoding is chosen by the -out file
+// extension (.csv or .vtb). VTB → CSV applies the CSV codec's 4-decimal
+// quantization; every other direction is lossless, so a VTB → CSV
+// conversion is byte-identical to having generated CSV directly.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vita/internal/colstore"
+	"vita/internal/rssi"
+	"vita/internal/storage"
+	"vita/internal/trajectory"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vitaconvert:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "input file (.csv or .vtb, detected by content)")
+	out := flag.String("out", "", "output file; extension selects the format")
+	flag.Parse()
+	if *in == "" || *out == "" {
+		return fmt.Errorf("both -in and -out are required")
+	}
+
+	outFormat, err := formatFromExt(*out)
+	if err != nil {
+		return err
+	}
+	kind, err := detectKind(*in)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	var rows int
+	switch kind {
+	case colstore.KindTrajectory:
+		rows, err = convertTrajectory(*in, bw, outFormat)
+	case colstore.KindRSSI:
+		rows, err = convertRSSI(*in, bw, outFormat)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(*out)
+		return err
+	}
+
+	ist, _ := os.Stat(*in)
+	ost, _ := os.Stat(*out)
+	if ist != nil && ost != nil {
+		fmt.Printf("%s: %d %s rows, %d -> %d bytes (%.0f%%)\n",
+			filepath.Base(*out), rows, kind, ist.Size(), ost.Size(),
+			100*float64(ost.Size())/float64(ist.Size()))
+	}
+	return nil
+}
+
+func formatFromExt(path string) (storage.Format, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".csv":
+		return storage.FormatCSV, nil
+	case ".vtb":
+		return storage.FormatVTB, nil
+	default:
+		return "", fmt.Errorf("cannot infer output format from %q: use a .csv or .vtb extension", path)
+	}
+}
+
+// detectKind sniffs the record kind: the VTB header byte, or the CSV header
+// row.
+func detectKind(path string) (colstore.Kind, error) {
+	kind, isVTB, err := colstore.Sniff(path)
+	if err != nil {
+		return 0, err
+	}
+	if isVTB {
+		return kind, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	header, err := bufio.NewReader(f).ReadString('\n')
+	if err != nil {
+		return 0, fmt.Errorf("read CSV header of %s: %w", path, err)
+	}
+	switch strings.TrimSpace(header) {
+	case "o_id,building,floor,partition,x,y,t":
+		return colstore.KindTrajectory, nil
+	case "o_id,d_id,rssi,t":
+		return colstore.KindRSSI, nil
+	default:
+		return 0, fmt.Errorf("unrecognized CSV header %q (want the trajectory/estimate or rssi columns)",
+			strings.TrimSpace(header))
+	}
+}
+
+// convertTrajectory pipes rows from the input scan straight into the output
+// writer, so conversion runs in O(block) memory however large the file is.
+func convertTrajectory(in string, w *bufio.Writer, format storage.Format) (int, error) {
+	var out interface {
+		Write(trajectory.Sample) error
+		Close() error
+	}
+	var err error
+	if format == storage.FormatCSV {
+		out, err = storage.NewTrajectoryCSVWriter(w)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		out = colstore.NewTrajectoryWriter(w)
+	}
+	rows := 0
+	var werr error
+	_, _, err = storage.ScanTrajectoryFile(in, colstore.Predicate{}, func(s trajectory.Sample) {
+		if werr != nil {
+			return
+		}
+		rows++
+		werr = out.Write(s)
+	})
+	if err != nil {
+		return rows, err
+	}
+	if werr != nil {
+		return rows, werr
+	}
+	return rows, out.Close()
+}
+
+// convertRSSI is convertTrajectory for RSSI rows.
+func convertRSSI(in string, w *bufio.Writer, format storage.Format) (int, error) {
+	var out interface {
+		Write(rssi.Measurement) error
+		Close() error
+	}
+	var err error
+	if format == storage.FormatCSV {
+		out, err = storage.NewRSSICSVWriter(w)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		out = colstore.NewRSSIWriter(w)
+	}
+	rows := 0
+	var werr error
+	_, _, err = storage.ScanRSSIFile(in, colstore.Predicate{}, func(m rssi.Measurement) {
+		if werr != nil {
+			return
+		}
+		rows++
+		werr = out.Write(m)
+	})
+	if err != nil {
+		return rows, err
+	}
+	if werr != nil {
+		return rows, werr
+	}
+	return rows, out.Close()
+}

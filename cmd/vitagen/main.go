@@ -1,18 +1,26 @@
 // Command vitagen runs Vita's full generation pipeline from a JSON
-// configuration and writes the produced data as CSV files, following the
-// demo's six-step path (paper §5): import DBI → view environment → deploy
-// devices → generate objects/trajectories → generate RSSI → run the
-// positioning method.
+// configuration and writes the produced data files, following the demo's
+// six-step path (paper §5): import DBI → view environment → deploy devices →
+// generate objects/trajectories → generate RSSI → run the positioning
+// method.
 //
 // Usage:
 //
 //	vitagen -config cfg.json -out outdir [-render] [-snapshot 60]
-//	vitagen -config cfg.json -parallelism 8   # shard generation over 8 workers
-//	vitagen -default > cfg.json       # print the default config
+//	vitagen -config cfg.json -format vtb    # columnar binary instead of CSV
+//	vitagen -config cfg.json -parallelism 8 # shard generation over 8 workers
+//	vitagen -default > cfg.json             # print the default config
 //
 // Generation is sharded by object across a worker pool (-parallelism, or the
 // config's "parallelism" field; 0 = all cores). The produced data is
 // byte-identical for any worker count.
+//
+// The bulk outputs (trajectory, rssi) stream into the chosen -format while
+// the simulation runs — csv (the paper's textual records, 4-decimal
+// quantization) or vtb (the lossless block-columnar binary of
+// internal/colstore, which vitaquery scans with zone-map pruning).
+// Trajectory rows are written in global time order, RSSI rows grouped by
+// object. Derived tables (estimates, proximity) are always CSV.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"vita/internal/core"
 	"vita/internal/render"
@@ -37,11 +46,12 @@ func main() {
 func run() error {
 	var (
 		configPath = flag.String("config", "", "JSON configuration file (empty = defaults)")
-		outDir     = flag.String("out", "out", "output directory for CSV files")
+		outDir     = flag.String("out", "out", "output directory for the data files")
 		doRender   = flag.Bool("render", false, "render ASCII floor plans with the final snapshot")
 		snapshotAt = flag.Float64("snapshot", -1, "extract an object snapshot at this simulation second")
 		printDef   = flag.Bool("default", false, "print the default configuration as JSON and exit")
 		parallel   = flag.Int("parallelism", -1, "generation worker count (0 = all cores; -1 = value from config; output is identical for any setting)")
+		formatStr  = flag.String("format", "csv", "bulk output format: csv | vtb")
 	)
 	flag.Parse()
 
@@ -72,12 +82,26 @@ func run() error {
 		return fmt.Errorf("-parallelism must be >= 0 (or -1 to use the config value), got %d", *parallel)
 	}
 
+	format, err := storage.ParseFormat(*formatStr)
+	if err != nil {
+		return err
+	}
 	p, err := core.NewPipeline(cfg)
 	if err != nil {
 		return err
 	}
-	ds, err := p.Run()
+	sink, err := core.NewDirSink(*outDir, format)
 	if err != nil {
+		return err
+	}
+	ds, err := p.RunTo(sink)
+	if err != nil {
+		// Remove the partial bulk files so a truncated trajectory.vtb from
+		// this failed run cannot shadow valid data from an earlier one.
+		sink.Discard()
+		return err
+	}
+	if err := sink.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("parallelism     %d workers\n", p.Parallelism())
@@ -105,34 +129,12 @@ func run() error {
 		}
 	}
 
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		return err
-	}
-	if err := writeCSV(filepath.Join(*outDir, "trajectory.csv"), func(f *os.File) error {
-		return storage.WriteTrajectoryCSV(f, ds.Trajectories.All())
-	}); err != nil {
-		return err
-	}
-	if err := writeCSV(filepath.Join(*outDir, "rssi.csv"), func(f *os.File) error {
-		return storage.WriteRSSICSV(f, ds.RSSI.All())
-	}); err != nil {
-		return err
-	}
-	if ds.Estimates.Len() > 0 {
-		if err := writeCSV(filepath.Join(*outDir, "estimates.csv"), func(f *os.File) error {
-			return storage.WriteEstimateCSV(f, ds.Estimates.All())
-		}); err != nil {
-			return err
+	for _, name := range []string{"trajectory" + format.Ext(), "rssi" + format.Ext()} {
+		if st, err := os.Stat(filepath.Join(*outDir, name)); err == nil {
+			fmt.Printf("wrote %-14s %d bytes\n", name, st.Size())
 		}
 	}
-	if ds.Proximity.Len() > 0 {
-		if err := writeCSV(filepath.Join(*outDir, "proximity.csv"), func(f *os.File) error {
-			return storage.WriteProximityCSV(f, ds.Proximity.All())
-		}); err != nil {
-			return err
-		}
-	}
-	fmt.Printf("wrote CSV files to %s\n", *outDir)
+	fmt.Printf("wrote %s files to %s\n", strings.ToUpper(string(format)), *outDir)
 
 	if *doRender || *snapshotAt >= 0 {
 		at := *snapshotAt
@@ -144,16 +146,4 @@ func run() error {
 		fmt.Print(render.Building(ds.Building, ds.Devices.All(), snap, render.Options{Width: 100}))
 	}
 	return nil
-}
-
-func writeCSV(path string, write func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -1,5 +1,7 @@
-// Command vitaquery serves spatio-temporal queries over the CSV output of
-// vitagen. It loads trajectory.csv from the data directory, builds the
+// Command vitaquery serves spatio-temporal queries over the output of
+// vitagen. It loads the trajectory data from the data directory — either
+// trajectory.vtb (the columnar binary store, preferred when present) or
+// trajectory.csv, detected by magic bytes rather than extension — builds the
 // time-bucketed R-tree index of internal/query, and answers one query per
 // invocation:
 //
@@ -9,6 +11,13 @@
 //	vitaquery -data out traj -obj 3 -t0 0 -t1 300
 //	vitaquery -data out watch -floor 0 -box 0,0,20,15
 //	vitaquery -data out info
+//
+// With a VTB file the query predicate is pushed into the load: each
+// subcommand derives the block predicate its operator allows (range prunes
+// by window+floor+box, traj by object+window, knn/density by the window
+// widened by -maxgap so interpolation still sees its bracketing samples),
+// and the scan skips every block whose zone map rules it out. A line on
+// stderr reports how many blocks were actually read.
 //
 // watch replays the dataset sample-by-sample through a standing range query
 // and prints every enter/move/exit transition — the online half of the
@@ -24,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vita/internal/colstore"
 	"vita/internal/geom"
 	"vita/internal/query"
 	"vita/internal/storage"
@@ -38,7 +48,7 @@ func main() {
 }
 
 func run() error {
-	dataDir := flag.String("data", "out", "directory holding vitagen CSV output")
+	dataDir := flag.String("data", "out", "directory holding vitagen output")
 	bucket := flag.Float64("bucket", 60, "index time-bucket width in seconds")
 	maxGap := flag.Float64("maxgap", 10, "max sample gap in seconds for instant queries")
 	flag.Parse()
@@ -46,7 +56,7 @@ func run() error {
 		return fmt.Errorf("missing subcommand: range | knn | density | traj | watch | info")
 	}
 
-	samples, err := loadSamples(filepath.Join(*dataDir, "trajectory.csv"))
+	ld, err := newLoader(*dataDir)
 	if err != nil {
 		return err
 	}
@@ -55,28 +65,53 @@ func run() error {
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "range":
-		return runRange(samples, opts, args)
+		return runRange(ld, opts, args)
 	case "knn":
-		return runKNN(samples, opts, args)
+		return runKNN(ld, opts, args)
 	case "density":
-		return runDensity(samples, opts, args)
+		return runDensity(ld, opts, args)
 	case "traj":
-		return runTraj(samples, opts, args)
+		return runTraj(ld, opts, args)
 	case "watch":
-		return runWatch(samples, args)
+		return runWatch(ld, args)
 	case "info":
-		return runInfo(samples, opts)
+		return runInfo(ld, opts)
 	}
 	return fmt.Errorf("unknown subcommand %q", cmd)
 }
 
-func loadSamples(path string) ([]trajectory.Sample, error) {
-	f, err := os.Open(path)
+// loader locates the trajectory file and loads it through the format layer,
+// pushing each operator's predicate into the scan.
+type loader struct {
+	path string
+}
+
+func newLoader(dir string) (*loader, error) {
+	for _, name := range []string{"trajectory.vtb", "trajectory.csv"} {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			return &loader{path: p}, nil
+		}
+	}
+	return nil, fmt.Errorf("no trajectory.vtb or trajectory.csv in %s", dir)
+}
+
+// load returns the samples matching pred. For VTB files the load is a
+// zone-map pruned scan and a stats line goes to stderr; for CSV it is a full
+// parse with row filtering.
+func (l *loader) load(pred colstore.Predicate) ([]trajectory.Sample, error) {
+	var out []trajectory.Sample
+	stats, format, err := storage.ScanTrajectoryFile(l.path, pred, func(s trajectory.Sample) {
+		out = append(out, s)
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return storage.ReadTrajectoryCSV(f)
+	if format == storage.FormatVTB {
+		fmt.Fprintf(os.Stderr, "vitaquery: %s: read %d of %d blocks (%d pruned by zone maps), %d rows matched\n",
+			filepath.Base(l.path), stats.BlocksScanned, stats.BlocksTotal, stats.BlocksPruned, stats.RowsMatched)
+	}
+	return out, nil
 }
 
 // parseBox parses "x0,y0,x1,y1".
@@ -113,7 +148,7 @@ func parsePoint(s string) (geom.Point, error) {
 	return geom.Pt(x, y), nil
 }
 
-func runRange(samples []trajectory.Sample, opts query.Options, args []string) error {
+func runRange(ld *loader, opts query.Options, args []string) error {
 	fs := flag.NewFlagSet("range", flag.ExitOnError)
 	floor := fs.Int("floor", -1, "floor to search (-1 = all)")
 	boxStr := fs.String("box", "", "spatial box x0,y0,x1,y1 (required)")
@@ -123,6 +158,16 @@ func runRange(samples []trajectory.Sample, opts query.Options, args []string) er
 		return err
 	}
 	box, err := parseBox(*boxStr)
+	if err != nil {
+		return err
+	}
+	// Range is exact on window, floor and box, so the full predicate can be
+	// pushed into the scan.
+	pred := colstore.Predicate{HasTime: true, T0: *t0, T1: *t1, HasBox: true, Box: box}
+	if *floor >= 0 {
+		pred.HasFloor, pred.Floor = true, *floor
+	}
+	samples, err := ld.load(pred)
 	if err != nil {
 		return err
 	}
@@ -136,7 +181,7 @@ func runRange(samples []trajectory.Sample, opts query.Options, args []string) er
 	return nil
 }
 
-func runKNN(samples []trajectory.Sample, opts query.Options, args []string) error {
+func runKNN(ld *loader, opts query.Options, args []string) error {
 	fs := flag.NewFlagSet("knn", flag.ExitOnError)
 	floor := fs.Int("floor", 0, "floor to search")
 	atStr := fs.String("at", "", "query point x,y (required)")
@@ -149,6 +194,13 @@ func runKNN(samples []trajectory.Sample, opts query.Options, args []string) erro
 	if err != nil {
 		return err
 	}
+	// kNN interpolates between the samples bracketing t (within MaxGap) and
+	// disambiguates floor transitions using both endpoints, so push only the
+	// widened time window — not floor or box.
+	samples, err := ld.load(colstore.TimeWindow(*t-opts.MaxGap, *t+opts.MaxGap))
+	if err != nil {
+		return err
+	}
 	ix := query.NewTrajectoryIndex(samples, opts)
 	for i, n := range ix.KNN(*floor, p, *t, *k) {
 		fmt.Printf("#%d  obj %-4d dist %6.2fm  %s\n", i+1, n.ObjID, n.Dist, n.Loc)
@@ -156,10 +208,15 @@ func runKNN(samples []trajectory.Sample, opts query.Options, args []string) erro
 	return nil
 }
 
-func runDensity(samples []trajectory.Sample, opts query.Options, args []string) error {
+func runDensity(ld *loader, opts query.Options, args []string) error {
 	fs := flag.NewFlagSet("density", flag.ExitOnError)
 	t := fs.Float64("t", 0, "snapshot instant (s)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Like kNN: interpolation needs the samples within MaxGap of t.
+	samples, err := ld.load(colstore.TimeWindow(*t-opts.MaxGap, *t+opts.MaxGap))
+	if err != nil {
 		return err
 	}
 	ix := query.NewTrajectoryIndex(samples, opts)
@@ -183,12 +240,19 @@ func runDensity(samples []trajectory.Sample, opts query.Options, args []string) 
 	return nil
 }
 
-func runTraj(samples []trajectory.Sample, opts query.Options, args []string) error {
+func runTraj(ld *loader, opts query.Options, args []string) error {
 	fs := flag.NewFlagSet("traj", flag.ExitOnError)
 	obj := fs.Int("obj", 0, "object ID")
 	t0 := fs.Float64("t0", 0, "window start (s)")
 	t1 := fs.Float64("t1", 1e18, "window end (s)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	samples, err := ld.load(colstore.Predicate{
+		HasObj: true, Obj: *obj,
+		HasTime: true, T0: *t0, T1: *t1,
+	})
+	if err != nil {
 		return err
 	}
 	ix := query.NewTrajectoryIndex(samples, opts)
@@ -200,7 +264,7 @@ func runTraj(samples []trajectory.Sample, opts query.Options, args []string) err
 	return nil
 }
 
-func runWatch(samples []trajectory.Sample, args []string) error {
+func runWatch(ld *loader, args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	floor := fs.Int("floor", -1, "floor to watch (-1 = all)")
 	boxStr := fs.String("box", "", "spatial box x0,y0,x1,y1 (required)")
@@ -208,6 +272,12 @@ func runWatch(samples []trajectory.Sample, args []string) error {
 		return err
 	}
 	box, err := parseBox(*boxStr)
+	if err != nil {
+		return err
+	}
+	// The standing query needs every sample: an object exits when a sample
+	// lands outside the box (or floor), so nothing can be pruned away.
+	samples, err := ld.load(colstore.Predicate{})
 	if err != nil {
 		return err
 	}
@@ -231,7 +301,11 @@ func runWatch(samples []trajectory.Sample, args []string) error {
 	return nil
 }
 
-func runInfo(samples []trajectory.Sample, opts query.Options) error {
+func runInfo(ld *loader, opts query.Options) error {
+	samples, err := ld.load(colstore.Predicate{})
+	if err != nil {
+		return err
+	}
 	ix := query.NewTrajectoryIndex(samples, opts)
 	t0, t1, ok := ix.TimeSpan()
 	if !ok {

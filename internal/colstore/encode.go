@@ -1,0 +1,336 @@
+package colstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file holds the column codecs shared by the writer and the reader:
+// delta-of-delta integer columns, scaled/raw float columns, dictionary
+// string columns, bitsets, and the per-block flate pass. Encoders append to
+// a []byte; decoders consume from a cursor with a sticky error so corrupt
+// input surfaces as one error instead of a panic.
+
+// appendIntColumn encodes vals as zigzag varints of the delta-of-delta
+// sequence: v0, d1, d2-d1, d3-d2, ...
+func appendIntColumn(dst []byte, vals []int64) []byte {
+	var prev, prevDelta int64
+	for i, v := range vals {
+		switch i {
+		case 0:
+			dst = binary.AppendVarint(dst, v)
+		case 1:
+			prevDelta = v - prev
+			dst = binary.AppendVarint(dst, prevDelta)
+		default:
+			d := v - prev
+			dst = binary.AppendVarint(dst, d-prevDelta)
+			prevDelta = d
+		}
+		prev = v
+	}
+	return dst
+}
+
+const (
+	floatRaw    = 0 // 8-byte bit patterns, XORed with the previous value
+	floatScaled = 1 // decimal fixed point: scale exponent + integer column
+)
+
+// maxScaleExp bounds the decimal scales tried for the fixed-point float
+// encoding: 10^0 .. 10^maxScaleExp.
+const maxScaleExp = 4
+
+var pow10 = [maxScaleExp + 1]float64{1, 10, 100, 1000, 10000}
+
+// exactScaled reports whether v survives a round trip through
+// round(v*scale)/scale bit-for-bit, along with the scaled integer.
+func exactScaled(v, scale float64) (int64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	r := math.Round(v * scale)
+	if math.Abs(r) >= 1<<53 {
+		return 0, false
+	}
+	i := int64(r)
+	if math.Float64bits(float64(i)/scale) != math.Float64bits(v) {
+		return 0, false
+	}
+	return i, true
+}
+
+// scaledInts returns vals as integers under the smallest decimal scale that
+// reproduces every value exactly, or ok=false when no scale ≤ 10^maxScaleExp
+// does.
+func scaledInts(vals []float64) (ints []int64, exp int, ok bool) {
+	buf := make([]int64, 0, len(vals))
+nextExp:
+	for e := 0; e <= maxScaleExp; e++ {
+		buf = buf[:0]
+		for _, v := range vals {
+			i, ok := exactScaled(v, pow10[e])
+			if !ok {
+				continue nextExp
+			}
+			buf = append(buf, i)
+		}
+		return buf, e, true
+	}
+	return nil, 0, false
+}
+
+// appendFloatColumn encodes vals either as decimal fixed point (lossless by
+// the exactScaled check) or as raw XORed bit patterns.
+func appendFloatColumn(dst []byte, vals []float64) []byte {
+	if ints, exp, ok := scaledInts(vals); ok {
+		dst = append(dst, floatScaled, byte(exp))
+		return appendIntColumn(dst, ints)
+	}
+	dst = append(dst, floatRaw)
+	var prev uint64
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		dst = binary.LittleEndian.AppendUint64(dst, bits^prev)
+		prev = bits
+	}
+	return dst
+}
+
+// appendDictColumn encodes vals as a first-seen-order dictionary followed by
+// one varint index per value.
+func appendDictColumn(dst []byte, vals []string) []byte {
+	idx := make(map[string]int)
+	var dict []string
+	for _, s := range vals {
+		if _, ok := idx[s]; !ok {
+			idx[s] = len(dict)
+			dict = append(dict, s)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(dict)))
+	for _, s := range dict {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	for _, s := range vals {
+		dst = binary.AppendUvarint(dst, uint64(idx[s]))
+	}
+	return dst
+}
+
+// appendBitset encodes one bit per value, LSB-first within each byte.
+func appendBitset(dst []byte, vals []bool) []byte {
+	n := (len(vals) + 7) / 8
+	start := len(dst)
+	dst = append(dst, make([]byte, n)...)
+	for i, v := range vals {
+		if v {
+			dst[start+i/8] |= 1 << uint(i%8)
+		}
+	}
+	return dst
+}
+
+// compressBlock flate-compresses raw when that shrinks it, returning the
+// stored payload and the codec byte.
+func compressBlock(raw []byte, noCompress bool) ([]byte, byte, error) {
+	if noCompress {
+		return raw, codecRaw, nil
+	}
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, 0, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, 0, err
+	}
+	if buf.Len() >= len(raw) {
+		return raw, codecRaw, nil
+	}
+	return buf.Bytes(), codecFlate, nil
+}
+
+// decompressBlock reverses compressBlock, validating the declared raw size.
+func decompressBlock(stored []byte, codec byte, rawLen int) ([]byte, error) {
+	switch codec {
+	case codecRaw:
+		if len(stored) != rawLen {
+			return nil, fmt.Errorf("colstore: raw block is %d bytes, header says %d", len(stored), rawLen)
+		}
+		return stored, nil
+	case codecFlate:
+		raw := make([]byte, 0, rawLen)
+		fr := flate.NewReader(bytes.NewReader(stored))
+		buf := bytes.NewBuffer(raw)
+		if _, err := io.Copy(buf, io.LimitReader(fr, int64(rawLen)+1)); err != nil {
+			return nil, fmt.Errorf("colstore: inflate block: %w", err)
+		}
+		if buf.Len() != rawLen {
+			return nil, fmt.Errorf("colstore: inflated block is %d bytes, header says %d", buf.Len(), rawLen)
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("colstore: unknown block codec %d", codec)
+	}
+}
+
+// cursor consumes an encoded block payload with a sticky error.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("colstore: "+format, args...)
+	}
+}
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail("truncated uvarint at offset %d", c.off)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) varint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		c.fail("truncated varint at offset %d", c.off)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.b) {
+		c.fail("truncated payload: need %d bytes at offset %d of %d", n, c.off, len(c.b))
+		return nil
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out
+}
+
+// count reads the row count for a column group and bounds it by the payload
+// size so corrupt input cannot drive huge allocations.
+func (c *cursor) count() int {
+	v := c.uvarint()
+	if c.err == nil && v > uint64(len(c.b)) {
+		c.fail("row count %d exceeds payload size %d", v, len(c.b))
+	}
+	return int(v)
+}
+
+func (c *cursor) intColumn(n int) []int64 {
+	out := make([]int64, 0, n)
+	var prev, prevDelta int64
+	for i := 0; i < n; i++ {
+		z := c.varint()
+		switch i {
+		case 0:
+			prev = z
+		case 1:
+			prevDelta = z
+			prev += z
+		default:
+			prevDelta += z
+			prev += prevDelta
+		}
+		out = append(out, prev)
+	}
+	return out
+}
+
+func (c *cursor) floatColumn(n int) []float64 {
+	mode := c.bytes(1)
+	if c.err != nil {
+		return nil
+	}
+	out := make([]float64, 0, n)
+	switch mode[0] {
+	case floatScaled:
+		expB := c.bytes(1)
+		if c.err != nil {
+			return nil
+		}
+		if expB[0] > maxScaleExp {
+			c.fail("bad float scale exponent %d", expB[0])
+			return nil
+		}
+		scale := pow10[expB[0]]
+		for _, i := range c.intColumn(n) {
+			out = append(out, float64(i)/scale)
+		}
+	case floatRaw:
+		raw := c.bytes(8 * n)
+		if c.err != nil {
+			return nil
+		}
+		var prev uint64
+		for i := 0; i < n; i++ {
+			prev ^= binary.LittleEndian.Uint64(raw[8*i:])
+			out = append(out, math.Float64frombits(prev))
+		}
+	default:
+		c.fail("unknown float column mode %d", mode[0])
+	}
+	return out
+}
+
+func (c *cursor) dictColumn(n int) []string {
+	dictLen := c.count()
+	dict := make([]string, 0, dictLen)
+	for i := 0; i < dictLen; i++ {
+		l := c.count()
+		dict = append(dict, string(c.bytes(l)))
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		idx := c.uvarint()
+		if c.err != nil {
+			return nil
+		}
+		if idx >= uint64(len(dict)) {
+			c.fail("dictionary index %d out of range (%d entries)", idx, len(dict))
+			return nil
+		}
+		out = append(out, dict[idx])
+	}
+	return out
+}
+
+func (c *cursor) bitset(n int) []bool {
+	raw := c.bytes((n + 7) / 8)
+	if c.err != nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = raw[i/8]&(1<<uint(i%8)) != 0
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+// reader owns the kind-independent read machinery: header/footer validation
+// and block fetch + decompression. Typed readers layer row decoding and
+// predicate evaluation on top.
+type reader struct {
+	r       io.ReaderAt
+	size    int64
+	kind    Kind
+	zones   []ZoneMap
+	offsets []int64
+	closer  io.Closer // set when the reader owns the underlying file
+}
+
+func openReader(r io.ReaderAt, size int64, want Kind) (*reader, error) {
+	if size < headerSize+tailSize {
+		return nil, fmt.Errorf("colstore: file too short (%d bytes) to be VTB", size)
+	}
+	var hdr [headerSize]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("colstore: read header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magicHead {
+		return nil, fmt.Errorf("colstore: bad magic %q (not a VTB file)", hdr[:4])
+	}
+	if hdr[4] != version {
+		return nil, fmt.Errorf("colstore: unsupported VTB version %d", hdr[4])
+	}
+	if got := Kind(hdr[5]); got != want {
+		return nil, fmt.Errorf("colstore: file holds %s records, want %s", got, want)
+	}
+
+	var tail [tailSize]byte
+	if _, err := r.ReadAt(tail[:], size-tailSize); err != nil {
+		return nil, fmt.Errorf("colstore: read footer tail: %w", err)
+	}
+	if [4]byte(tail[8:]) != magicTail {
+		return nil, fmt.Errorf("colstore: bad footer magic %q (truncated file?)", tail[8:])
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(tail[:8]))
+	if footerOff < headerSize || footerOff > size-tailSize-4 {
+		return nil, fmt.Errorf("colstore: footer offset %d out of range", footerOff)
+	}
+	footer := make([]byte, size-tailSize-footerOff)
+	if _, err := r.ReadAt(footer, footerOff); err != nil {
+		return nil, fmt.Errorf("colstore: read footer: %w", err)
+	}
+	blockCount := int(binary.LittleEndian.Uint32(footer[:4]))
+	if len(footer) != 4+blockCount*footerEntrySize {
+		return nil, fmt.Errorf("colstore: footer is %d bytes, want %d for %d blocks",
+			len(footer), 4+blockCount*footerEntrySize, blockCount)
+	}
+
+	rd := &reader{r: r, size: size, kind: want,
+		zones: make([]ZoneMap, 0, blockCount), offsets: make([]int64, 0, blockCount)}
+	for i := 0; i < blockCount; i++ {
+		e := footer[4+i*footerEntrySize:]
+		off := int64(binary.LittleEndian.Uint64(e[0:]))
+		if off < headerSize || off >= footerOff {
+			return nil, fmt.Errorf("colstore: block %d offset %d out of range", i, off)
+		}
+		f64 := func(at int) float64 {
+			return math.Float64frombits(binary.LittleEndian.Uint64(e[at:]))
+		}
+		i32 := func(at int) int {
+			return int(int32(binary.LittleEndian.Uint32(e[at:])))
+		}
+		rd.offsets = append(rd.offsets, off)
+		rd.zones = append(rd.zones, ZoneMap{
+			Count: int(binary.LittleEndian.Uint32(e[8:])),
+			T0:    f64(12), T1: f64(20),
+			Box: geom.BBox{
+				Min: geom.Pt(f64(28), f64(36)),
+				Max: geom.Pt(f64(44), f64(52)),
+			},
+			FloorMin: i32(60), FloorMax: i32(64),
+			FloorMask: binary.LittleEndian.Uint64(e[68:]),
+			ObjMin:    i32(76), ObjMax: i32(80),
+		})
+	}
+	return rd, nil
+}
+
+// block fetches and decompresses block i.
+func (rd *reader) block(i int) ([]byte, error) {
+	var frame [9]byte
+	if _, err := rd.r.ReadAt(frame[:], rd.offsets[i]); err != nil {
+		return nil, fmt.Errorf("colstore: read block %d frame: %w", i, err)
+	}
+	storedLen := int(binary.LittleEndian.Uint32(frame[0:]))
+	codec := frame[4]
+	rawLen := int(binary.LittleEndian.Uint32(frame[5:]))
+	if int64(storedLen) > rd.size-rd.offsets[i] {
+		return nil, fmt.Errorf("colstore: block %d claims %d bytes past EOF", i, storedLen)
+	}
+	stored := make([]byte, storedLen)
+	if _, err := rd.r.ReadAt(stored, rd.offsets[i]+9); err != nil {
+		return nil, fmt.Errorf("colstore: read block %d: %w", i, err)
+	}
+	return decompressBlock(stored, codec, rawLen)
+}
+
+func (rd *reader) close() error {
+	if rd.closer != nil {
+		return rd.closer.Close()
+	}
+	return nil
+}
+
+func (rd *reader) len() int {
+	n := 0
+	for _, zm := range rd.zones {
+		n += zm.Count
+	}
+	return n
+}
+
+// TrajectoryReader reads trajectory samples from a VTB file with zone-map
+// pruned scans. It is safe for concurrent Scans.
+type TrajectoryReader struct {
+	rd *reader
+}
+
+// NewTrajectoryReader opens a trajectory VTB image held in r (size bytes).
+func NewTrajectoryReader(r io.ReaderAt, size int64) (*TrajectoryReader, error) {
+	rd, err := openReader(r, size, KindTrajectory)
+	if err != nil {
+		return nil, err
+	}
+	return &TrajectoryReader{rd: rd}, nil
+}
+
+// OpenTrajectory opens the trajectory VTB file at path. Close releases the
+// underlying file.
+func OpenTrajectory(path string) (*TrajectoryReader, error) {
+	f, size, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := NewTrajectoryReader(f, size)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tr.rd.closer = f
+	return tr, nil
+}
+
+// Close releases the underlying file when the reader owns one.
+func (tr *TrajectoryReader) Close() error { return tr.rd.close() }
+
+// Len returns the total number of samples in the file (from the footer, no
+// block reads).
+func (tr *TrajectoryReader) Len() int { return tr.rd.len() }
+
+// Blocks returns the per-block zone maps, in file order.
+func (tr *TrajectoryReader) Blocks() []ZoneMap {
+	out := make([]ZoneMap, len(tr.rd.zones))
+	copy(out, tr.rd.zones)
+	return out
+}
+
+// Scan streams every sample matching pred to emit, in file order, skipping
+// whole blocks whose zone maps rule them out. The returned stats report how
+// effective the pruning was.
+func (tr *TrajectoryReader) Scan(pred Predicate, emit func(trajectory.Sample)) (ScanStats, error) {
+	stats := ScanStats{BlocksTotal: len(tr.rd.zones)}
+	for i, zm := range tr.rd.zones {
+		if pred.skipBlock(zm) {
+			stats.BlocksPruned++
+			continue
+		}
+		stats.BlocksScanned++
+		raw, err := tr.rd.block(i)
+		if err != nil {
+			return stats, err
+		}
+		if err := decodeTrajectoryBlock(raw, func(s trajectory.Sample) {
+			stats.RowsScanned++
+			if pred.matchCommon(s.ObjID, s.T) &&
+				(!pred.HasFloor || s.Loc.Floor == pred.Floor) &&
+				(!pred.HasBox || (s.Loc.HasPoint && pred.Box.Contains(s.Loc.Point))) {
+				stats.RowsMatched++
+				emit(s)
+			}
+		}); err != nil {
+			return stats, fmt.Errorf("block %d: %w", i, err)
+		}
+	}
+	return stats, nil
+}
+
+// ReadAll decodes the whole file.
+func (tr *TrajectoryReader) ReadAll() ([]trajectory.Sample, error) {
+	out := make([]trajectory.Sample, 0, tr.Len())
+	_, err := tr.Scan(Predicate{}, func(s trajectory.Sample) { out = append(out, s) })
+	return out, err
+}
+
+func decodeTrajectoryBlock(raw []byte, emit func(trajectory.Sample)) error {
+	c := &cursor{b: raw}
+	n := c.count()
+	objIDs := c.intColumn(n)
+	buildings := c.dictColumn(n)
+	floors := c.intColumn(n)
+	parts := c.dictColumn(n)
+	xs := c.floatColumn(n)
+	ys := c.floatColumn(n)
+	ts := c.floatColumn(n)
+	hasPt := c.bitset(n)
+	if c.err != nil {
+		return c.err
+	}
+	for i := 0; i < n; i++ {
+		emit(trajectory.Sample{
+			ObjID: int(objIDs[i]),
+			Loc: model.Location{
+				Building:  buildings[i],
+				Floor:     int(floors[i]),
+				Partition: parts[i],
+				Point:     geom.Pt(xs[i], ys[i]),
+				HasPoint:  hasPt[i],
+			},
+			T: ts[i],
+		})
+	}
+	return nil
+}
+
+// RSSIReader reads RSSI measurements from a VTB file.
+type RSSIReader struct {
+	rd *reader
+}
+
+// NewRSSIReader opens an RSSI VTB image held in r (size bytes).
+func NewRSSIReader(r io.ReaderAt, size int64) (*RSSIReader, error) {
+	rd, err := openReader(r, size, KindRSSI)
+	if err != nil {
+		return nil, err
+	}
+	return &RSSIReader{rd: rd}, nil
+}
+
+// OpenRSSI opens the RSSI VTB file at path. Close releases the underlying
+// file.
+func OpenRSSI(path string) (*RSSIReader, error) {
+	f, size, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := NewRSSIReader(f, size)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	rr.rd.closer = f
+	return rr, nil
+}
+
+// Close releases the underlying file when the reader owns one.
+func (rr *RSSIReader) Close() error { return rr.rd.close() }
+
+// Len returns the total number of measurements in the file.
+func (rr *RSSIReader) Len() int { return rr.rd.len() }
+
+// Blocks returns the per-block zone maps, in file order.
+func (rr *RSSIReader) Blocks() []ZoneMap {
+	out := make([]ZoneMap, len(rr.rd.zones))
+	copy(out, rr.rd.zones)
+	return out
+}
+
+// Scan streams every measurement matching pred (time and object constraints;
+// floor/box do not apply to RSSI rows) to emit, skipping blocks via zone
+// maps.
+func (rr *RSSIReader) Scan(pred Predicate, emit func(rssi.Measurement)) (ScanStats, error) {
+	// Floor and box constraints are meaningless for RSSI rows; drop them so
+	// they neither prune blocks nor filter rows.
+	pred.HasFloor, pred.HasBox = false, false
+	stats := ScanStats{BlocksTotal: len(rr.rd.zones)}
+	for i, zm := range rr.rd.zones {
+		if pred.skipBlock(zm) {
+			stats.BlocksPruned++
+			continue
+		}
+		stats.BlocksScanned++
+		raw, err := rr.rd.block(i)
+		if err != nil {
+			return stats, err
+		}
+		if err := decodeRSSIBlock(raw, func(m rssi.Measurement) {
+			stats.RowsScanned++
+			if pred.matchCommon(m.ObjID, m.T) {
+				stats.RowsMatched++
+				emit(m)
+			}
+		}); err != nil {
+			return stats, fmt.Errorf("block %d: %w", i, err)
+		}
+	}
+	return stats, nil
+}
+
+// ReadAll decodes the whole file.
+func (rr *RSSIReader) ReadAll() ([]rssi.Measurement, error) {
+	out := make([]rssi.Measurement, 0, rr.Len())
+	_, err := rr.Scan(Predicate{}, func(m rssi.Measurement) { out = append(out, m) })
+	return out, err
+}
+
+func decodeRSSIBlock(raw []byte, emit func(rssi.Measurement)) error {
+	c := &cursor{b: raw}
+	n := c.count()
+	objIDs := c.intColumn(n)
+	devices := c.dictColumn(n)
+	values := c.floatColumn(n)
+	ts := c.floatColumn(n)
+	if c.err != nil {
+		return c.err
+	}
+	for i := 0; i < n; i++ {
+		emit(rssi.Measurement{
+			ObjID:    int(objIDs[i]),
+			DeviceID: devices[i],
+			RSSI:     values[i],
+			T:        ts[i],
+		})
+	}
+	return nil
+}
+
+func openFile(path string) (*os.File, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}

@@ -1,0 +1,299 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"vita/internal/geom"
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+// blockWriter owns the kind-independent file machinery: header, block
+// framing, zone-map accumulation, and the footer. The typed writers feed it
+// encoded payloads plus their zone maps.
+type blockWriter struct {
+	w    io.Writer
+	opts Options
+	kind Kind
+
+	off         int64
+	wroteHeader bool
+	closed      bool
+	err         error // sticky: after a write error every call fails fast
+
+	offsets []int64
+	zones   []ZoneMap
+
+	payload []byte // reused encode buffer
+}
+
+func newBlockWriter(w io.Writer, kind Kind, opts Options) *blockWriter {
+	return &blockWriter{w: w, kind: kind, opts: opts.withDefaults()}
+}
+
+func (bw *blockWriter) write(p []byte) {
+	if bw.err != nil {
+		return
+	}
+	n, err := bw.w.Write(p)
+	bw.off += int64(n)
+	if err != nil {
+		bw.err = fmt.Errorf("colstore: write: %w", err)
+	}
+}
+
+func (bw *blockWriter) writeHeader() {
+	if bw.wroteHeader {
+		return
+	}
+	bw.wroteHeader = true
+	hdr := [headerSize]byte{}
+	copy(hdr[:4], magicHead[:])
+	hdr[4] = version
+	hdr[5] = byte(bw.kind)
+	bw.write(hdr[:])
+}
+
+// flushBlock frames and writes one encoded payload and records its zone map.
+func (bw *blockWriter) flushBlock(raw []byte, zm ZoneMap) {
+	if bw.err != nil {
+		return
+	}
+	bw.writeHeader()
+	stored, codec, err := compressBlock(raw, bw.opts.NoCompress)
+	if err != nil {
+		bw.err = err
+		return
+	}
+	bw.offsets = append(bw.offsets, bw.off)
+	bw.zones = append(bw.zones, zm)
+	var frame [9]byte
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(stored)))
+	frame[4] = codec
+	binary.LittleEndian.PutUint32(frame[5:], uint32(len(raw)))
+	bw.write(frame[:])
+	bw.write(stored)
+}
+
+// footerEntrySize is the fixed wire size of one zone-map entry.
+const footerEntrySize = 8 + 4 + 2*8 + 4*8 + 2*4 + 8 + 2*4
+
+func (bw *blockWriter) close() error {
+	if bw.closed {
+		return bw.err
+	}
+	bw.closed = true
+	bw.writeHeader() // empty files still carry header + footer
+	footerOff := bw.off
+	buf := make([]byte, 0, 4+len(bw.zones)*footerEntrySize+tailSize)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(bw.zones)))
+	for i, zm := range bw.zones {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(bw.offsets[i]))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(zm.Count))
+		buf = appendF64(buf, zm.T0)
+		buf = appendF64(buf, zm.T1)
+		buf = appendF64(buf, zm.Box.Min.X)
+		buf = appendF64(buf, zm.Box.Min.Y)
+		buf = appendF64(buf, zm.Box.Max.X)
+		buf = appendF64(buf, zm.Box.Max.Y)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(zm.FloorMin)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(zm.FloorMax)))
+		buf = binary.LittleEndian.AppendUint64(buf, zm.FloorMask)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(zm.ObjMin)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(zm.ObjMax)))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(footerOff))
+	buf = append(buf, magicTail[:]...)
+	bw.write(buf)
+	return bw.err
+}
+
+// TrajectoryWriter streams trajectory samples into a VTB file. Feed it from
+// the generation pipeline's emit callback (the Collector delivers samples in
+// global time order, which makes the zone maps maximally selective) and
+// Close it to flush the last block and write the footer.
+type TrajectoryWriter struct {
+	bw  *blockWriter
+	buf []trajectory.Sample
+
+	// reused column slices
+	objIDs    []int64
+	buildings []string
+	floors    []int64
+	parts     []string
+	xs, ys    []float64
+	ts        []float64
+	hasPt     []bool
+}
+
+// NewTrajectoryWriter returns a streaming writer with default options.
+// The caller owns w; Close flushes the format but does not close w.
+func NewTrajectoryWriter(w io.Writer) *TrajectoryWriter {
+	return NewTrajectoryWriterOptions(w, Options{})
+}
+
+// NewTrajectoryWriterOptions returns a streaming writer with explicit
+// options.
+func NewTrajectoryWriterOptions(w io.Writer, opts Options) *TrajectoryWriter {
+	tw := &TrajectoryWriter{bw: newBlockWriter(w, KindTrajectory, opts)}
+	tw.buf = make([]trajectory.Sample, 0, tw.bw.opts.BlockSize)
+	return tw
+}
+
+// Write appends one sample, flushing a block when full.
+func (tw *TrajectoryWriter) Write(s trajectory.Sample) error {
+	if tw.bw.closed {
+		return fmt.Errorf("colstore: write after Close")
+	}
+	tw.buf = append(tw.buf, s)
+	if len(tw.buf) >= tw.bw.opts.BlockSize {
+		tw.flush()
+	}
+	return tw.bw.err
+}
+
+// Close flushes the pending block and writes the footer index.
+func (tw *TrajectoryWriter) Close() error {
+	if !tw.bw.closed && len(tw.buf) > 0 {
+		tw.flush()
+	}
+	return tw.bw.close()
+}
+
+func (tw *TrajectoryWriter) flush() {
+	samples := tw.buf
+	zm := ZoneMap{
+		Count: len(samples),
+		T0:    samples[0].T, T1: samples[0].T,
+		Box:      geom.EmptyBBox(),
+		FloorMin: samples[0].Loc.Floor, FloorMax: samples[0].Loc.Floor,
+		ObjMin: samples[0].ObjID, ObjMax: samples[0].ObjID,
+	}
+	tw.objIDs = tw.objIDs[:0]
+	tw.buildings = tw.buildings[:0]
+	tw.floors = tw.floors[:0]
+	tw.parts = tw.parts[:0]
+	tw.xs, tw.ys, tw.ts = tw.xs[:0], tw.ys[:0], tw.ts[:0]
+	tw.hasPt = tw.hasPt[:0]
+	for _, s := range samples {
+		tw.objIDs = append(tw.objIDs, int64(s.ObjID))
+		tw.buildings = append(tw.buildings, s.Loc.Building)
+		tw.floors = append(tw.floors, int64(s.Loc.Floor))
+		tw.parts = append(tw.parts, s.Loc.Partition)
+		tw.xs = append(tw.xs, s.Loc.Point.X)
+		tw.ys = append(tw.ys, s.Loc.Point.Y)
+		tw.ts = append(tw.ts, s.T)
+		tw.hasPt = append(tw.hasPt, s.Loc.HasPoint)
+
+		zm.T0, zm.T1 = min(zm.T0, s.T), max(zm.T1, s.T)
+		zm.FloorMin, zm.FloorMax = min(zm.FloorMin, s.Loc.Floor), max(zm.FloorMax, s.Loc.Floor)
+		zm.ObjMin, zm.ObjMax = min(zm.ObjMin, s.ObjID), max(zm.ObjMax, s.ObjID)
+		if s.Loc.HasPoint {
+			zm.Box = zm.Box.ExtendPoint(s.Loc.Point)
+		}
+	}
+	if span := zm.FloorMax - zm.FloorMin; span < 64 {
+		for _, s := range samples {
+			zm.FloorMask |= 1 << uint(s.Loc.Floor-zm.FloorMin)
+		}
+	}
+
+	p := tw.bw.payload[:0]
+	p = binary.AppendUvarint(p, uint64(len(samples)))
+	p = appendIntColumn(p, tw.objIDs)
+	p = appendDictColumn(p, tw.buildings)
+	p = appendIntColumn(p, tw.floors)
+	p = appendDictColumn(p, tw.parts)
+	p = appendFloatColumn(p, tw.xs)
+	p = appendFloatColumn(p, tw.ys)
+	p = appendFloatColumn(p, tw.ts)
+	p = appendBitset(p, tw.hasPt)
+	tw.bw.payload = p
+
+	tw.bw.flushBlock(p, zm)
+	tw.buf = tw.buf[:0]
+}
+
+// RSSIWriter streams RSSI measurements into a VTB file.
+type RSSIWriter struct {
+	bw  *blockWriter
+	buf []rssi.Measurement
+
+	objIDs  []int64
+	devices []string
+	values  []float64
+	ts      []float64
+}
+
+// NewRSSIWriter returns a streaming writer with default options.
+func NewRSSIWriter(w io.Writer) *RSSIWriter {
+	return NewRSSIWriterOptions(w, Options{})
+}
+
+// NewRSSIWriterOptions returns a streaming writer with explicit options.
+func NewRSSIWriterOptions(w io.Writer, opts Options) *RSSIWriter {
+	rw := &RSSIWriter{bw: newBlockWriter(w, KindRSSI, opts)}
+	rw.buf = make([]rssi.Measurement, 0, rw.bw.opts.BlockSize)
+	return rw
+}
+
+// Write appends one measurement, flushing a block when full.
+func (rw *RSSIWriter) Write(m rssi.Measurement) error {
+	if rw.bw.closed {
+		return fmt.Errorf("colstore: write after Close")
+	}
+	rw.buf = append(rw.buf, m)
+	if len(rw.buf) >= rw.bw.opts.BlockSize {
+		rw.flush()
+	}
+	return rw.bw.err
+}
+
+// Close flushes the pending block and writes the footer index.
+func (rw *RSSIWriter) Close() error {
+	if !rw.bw.closed && len(rw.buf) > 0 {
+		rw.flush()
+	}
+	return rw.bw.close()
+}
+
+func (rw *RSSIWriter) flush() {
+	ms := rw.buf
+	zm := ZoneMap{
+		Count: len(ms),
+		T0:    ms[0].T, T1: ms[0].T,
+		Box:    geom.EmptyBBox(),
+		ObjMin: ms[0].ObjID, ObjMax: ms[0].ObjID,
+	}
+	rw.objIDs = rw.objIDs[:0]
+	rw.devices = rw.devices[:0]
+	rw.values = rw.values[:0]
+	rw.ts = rw.ts[:0]
+	for _, m := range ms {
+		rw.objIDs = append(rw.objIDs, int64(m.ObjID))
+		rw.devices = append(rw.devices, m.DeviceID)
+		rw.values = append(rw.values, m.RSSI)
+		rw.ts = append(rw.ts, m.T)
+
+		zm.T0, zm.T1 = min(zm.T0, m.T), max(zm.T1, m.T)
+		zm.ObjMin, zm.ObjMax = min(zm.ObjMin, m.ObjID), max(zm.ObjMax, m.ObjID)
+	}
+
+	p := rw.bw.payload[:0]
+	p = binary.AppendUvarint(p, uint64(len(ms)))
+	p = appendIntColumn(p, rw.objIDs)
+	p = appendDictColumn(p, rw.devices)
+	p = appendFloatColumn(p, rw.values)
+	p = appendFloatColumn(p, rw.ts)
+	rw.bw.payload = p
+
+	rw.bw.flushBlock(p, zm)
+	rw.buf = rw.buf[:0]
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}

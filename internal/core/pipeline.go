@@ -77,6 +77,18 @@ func (p *Pipeline) Parallelism() int {
 // Run executes the full pipeline: DBI processing, device deployment, object
 // and trajectory generation, RSSI generation, and positioning.
 func (p *Pipeline) Run() (*Dataset, error) {
+	return p.RunTo(nil)
+}
+
+// RunTo executes the pipeline like Run while additionally streaming the data
+// products into sink as they are produced: trajectory samples record by
+// record in global time order (directly off the generation layer's merge
+// collector, so a columnar writer sees them without the pipeline buffering
+// for it), RSSI measurements record by record in the generator's
+// object-grouped replay order, and the derived positioning tables once at
+// the end. A nil sink is equivalent to Run. The caller owns sink and must
+// Close it after RunTo returns; a sink error aborts the run.
+func (p *Pipeline) RunTo(sink Sink) (*Dataset, error) {
 	r := rng.New(p.cfg.Seed)
 	ds := &Dataset{
 		Trajectories: storage.NewTrajectoryStore(),
@@ -84,6 +96,9 @@ func (p *Pipeline) Run() (*Dataset, error) {
 		Estimates:    storage.NewEstimateStore(),
 		Proximity:    storage.NewProximityStore(),
 	}
+	// The emit callbacks cannot return errors, so the first sink failure is
+	// latched here and checked after each stage.
+	var sinkErr error
 
 	// ----- Infrastructure Layer -----
 	env := IndoorEnvironmentController{Config: p.cfg.Building}
@@ -111,21 +126,53 @@ func (p *Pipeline) Run() (*Dataset, error) {
 		Trajectory:  p.cfg.Trajectory,
 		Parallelism: p.Parallelism(),
 	}
-	stats, err := objCtl.Generate(topology, r.Split(), ds.Trajectories.Append)
+	emitTraj := ds.Trajectories.Append
+	if sink != nil {
+		emitTraj = func(s trajectory.Sample) {
+			ds.Trajectories.Append(s)
+			if sinkErr == nil {
+				sinkErr = sink.Trajectory(s)
+			}
+		}
+	}
+	stats, err := objCtl.Generate(topology, r.Split(), emitTraj)
 	if err != nil {
 		return nil, err
+	}
+	if sinkErr != nil {
+		return nil, fmt.Errorf("core: trajectory sink: %w", sinkErr)
 	}
 	ds.TrajectoryStats = stats
 
 	// ----- Positioning Layer -----
+	emitRSSI := ds.RSSI.Append
+	if sink != nil {
+		emitRSSI = func(m rssi.Measurement) {
+			ds.RSSI.Append(m)
+			if sinkErr == nil {
+				sinkErr = sink.RSSI(m)
+			}
+		}
+	}
 	rssiCtl := RSSIMeasurementController{Config: p.cfg.RSSI, Parallelism: p.Parallelism()}
-	if _, err := rssiCtl.Generate(topology, devs, ds.Trajectories.All(), r.Split(), ds.RSSI.Append); err != nil {
+	if _, err := rssiCtl.Generate(topology, devs, ds.Trajectories.All(), r.Split(), emitRSSI); err != nil {
 		return nil, err
+	}
+	if sinkErr != nil {
+		return nil, fmt.Errorf("core: rssi sink: %w", sinkErr)
 	}
 
 	pmc := PositioningMethodController{Config: p.cfg.Positioning, RSSIModel: p.cfg.RSSI.model()}
 	if err := pmc.Run(topology, devs, ds, r.Split()); err != nil {
 		return nil, err
+	}
+	if sink != nil {
+		if err := sink.Estimates(ds.Estimates.All()); err != nil {
+			return nil, fmt.Errorf("core: estimates sink: %w", err)
+		}
+		if err := sink.Proximity(ds.Proximity.All()); err != nil {
+			return nil, fmt.Errorf("core: proximity sink: %w", err)
+		}
 	}
 	return ds, nil
 }

@@ -358,3 +358,91 @@ func TestContinuousMatchesOfflineRange(t *testing.T) {
 		}
 	}
 }
+
+// TestKNNMoreThanPopulation: k larger than the object count must return
+// every observable object once, still nearest-first, and never pad.
+func TestKNNMoreThanPopulation(t *testing.T) {
+	samples := syntheticSamples(11, 4, 60)
+	ix := NewTrajectoryIndex(samples, DefaultOptions())
+
+	got := ix.KNN(-1, geom.Pt(50, 25), 30, 1000)
+	if len(got) > 4 {
+		t.Fatalf("KNN returned %d neighbors for 4 objects", len(got))
+	}
+	if len(got) == 0 {
+		t.Fatal("KNN returned nothing at a mid-run instant")
+	}
+	seen := map[int]bool{}
+	for i, n := range got {
+		if seen[n.ObjID] {
+			t.Errorf("object %d returned twice", n.ObjID)
+		}
+		seen[n.ObjID] = true
+		if i > 0 && got[i-1].Dist > n.Dist {
+			t.Errorf("neighbors out of order at %d: %g > %g", i, got[i-1].Dist, n.Dist)
+		}
+	}
+	// Same query restricted to one floor: only that floor's objects.
+	for _, n := range ix.KNN(1, geom.Pt(50, 25), 30, 1000) {
+		if n.Loc.Floor != 1 {
+			t.Errorf("floor-1 kNN returned object on floor %d", n.Loc.Floor)
+		}
+	}
+}
+
+// TestEmptyTimeWindows: inverted and out-of-span windows must come back
+// empty from every operator instead of panicking or scanning.
+func TestEmptyTimeWindows(t *testing.T) {
+	samples := syntheticSamples(12, 6, 60)
+	ix := NewTrajectoryIndex(samples, DefaultOptions())
+	box := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(100, 50)}
+
+	for name, window := range map[string][2]float64{
+		"inverted":    {40, 10},
+		"before data": {-100, -50},
+		"after data":  {1e6, 2e6},
+	} {
+		t0, t1 := window[0], window[1]
+		if got := ix.Range(-1, box, t0, t1); len(got) != 0 {
+			t.Errorf("%s window: Range returned %d samples", name, len(got))
+		}
+		if got := ix.RangeObjects(-1, box, t0, t1); len(got) != 0 {
+			t.Errorf("%s window: RangeObjects returned %d objects", name, len(got))
+		}
+		if got := ix.ObjectTrajectory(0, t0, t1); len(got) != 0 {
+			t.Errorf("%s window: ObjectTrajectory returned %d samples", name, len(got))
+		}
+	}
+
+	// An empty index rejects every window.
+	empty := NewTrajectoryIndex(nil, DefaultOptions())
+	if got := empty.Range(-1, box, 0, 100); len(got) != 0 {
+		t.Errorf("empty index Range returned %d samples", len(got))
+	}
+	if _, _, ok := empty.TimeSpan(); ok {
+		t.Error("empty index reported a time span")
+	}
+}
+
+// TestRangeUnknownFloor: floors with no data — above, below, or between the
+// indexed ones — must yield empty results, not errors.
+func TestRangeUnknownFloor(t *testing.T) {
+	samples := syntheticSamples(13, 6, 60)
+	ix := NewTrajectoryIndex(samples, DefaultOptions())
+	box := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(100, 50)}
+
+	for _, floor := range []int{2, 7, -5} {
+		fl := floor
+		if fl < 0 {
+			// Negative means "all floors" to Range; use a floor that is
+			// simply absent instead.
+			fl = 99
+		}
+		if got := ix.Range(fl, box, 0, 60); len(got) != 0 {
+			t.Errorf("floor %d: Range returned %d samples", fl, len(got))
+		}
+		if got := ix.KNN(fl, geom.Pt(50, 25), 30, 3); len(got) != 0 {
+			t.Errorf("floor %d: KNN returned %d neighbors", fl, len(got))
+		}
+	}
+}

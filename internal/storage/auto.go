@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+
+	"vita/internal/colstore"
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+// This file bridges the two on-disk encodings — the CSV codecs of this
+// package and the columnar VTB format of internal/colstore — behind
+// format-agnostic entry points. Detection is by magic bytes, not extension,
+// so existing CSV workflows keep working whatever the files are named.
+
+// Format identifies an on-disk dataset encoding.
+type Format string
+
+const (
+	// FormatCSV is the textual record format of the paper (§4.2), quantized
+	// to 4 decimal places.
+	FormatCSV Format = "csv"
+	// FormatVTB is the block-compressed columnar binary format of
+	// internal/colstore: lossless and zone-map indexed.
+	FormatVTB Format = "vtb"
+)
+
+// Ext returns the conventional file extension for the format.
+func (f Format) Ext() string { return "." + string(f) }
+
+// ParseFormat validates a user-supplied format name.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatCSV, FormatVTB:
+		return Format(s), nil
+	default:
+		return "", fmt.Errorf("storage: unknown format %q (want %q or %q)", s, FormatCSV, FormatVTB)
+	}
+}
+
+// DetectFormat sniffs the file's magic bytes: VTB files are recognized by
+// their header, anything else is assumed CSV.
+func DetectFormat(path string) (Format, error) {
+	_, isVTB, err := colstore.Sniff(path)
+	if err != nil {
+		return "", err
+	}
+	if isVTB {
+		return FormatVTB, nil
+	}
+	return FormatCSV, nil
+}
+
+// ScanTrajectoryFile streams the samples of a trajectory file in either
+// format that match pred to emit, in O(block) memory. For VTB files the scan
+// prunes whole blocks via zone maps; for CSV it degrades to a row-by-row
+// parse with row filtering (stats then report zero blocks). The detected
+// format is returned alongside the scan stats.
+func ScanTrajectoryFile(path string, pred colstore.Predicate, emit func(trajectory.Sample)) (colstore.ScanStats, Format, error) {
+	format, err := DetectFormat(path)
+	if err != nil {
+		return colstore.ScanStats{}, "", err
+	}
+	if format == FormatVTB {
+		r, err := colstore.OpenTrajectory(path)
+		if err != nil {
+			return colstore.ScanStats{}, format, err
+		}
+		defer r.Close()
+		stats, err := r.Scan(pred, emit)
+		return stats, format, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return colstore.ScanStats{}, format, err
+	}
+	defer f.Close()
+	var stats colstore.ScanStats
+	err = ScanTrajectoryCSV(f, func(s trajectory.Sample) {
+		stats.RowsScanned++
+		if matchTrajectory(pred, s) {
+			stats.RowsMatched++
+			emit(s)
+		}
+	})
+	return stats, format, err
+}
+
+// ReadTrajectoryFile loads a whole trajectory file in either format,
+// reporting which format it detected.
+func ReadTrajectoryFile(path string) ([]trajectory.Sample, Format, error) {
+	var out []trajectory.Sample
+	_, format, err := ScanTrajectoryFile(path, colstore.Predicate{}, func(s trajectory.Sample) {
+		out = append(out, s)
+	})
+	return out, format, err
+}
+
+// ScanRSSIFile streams the measurements of an RSSI file in either format
+// that match pred (time/object constraints) to emit.
+func ScanRSSIFile(path string, pred colstore.Predicate, emit func(rssi.Measurement)) (colstore.ScanStats, Format, error) {
+	format, err := DetectFormat(path)
+	if err != nil {
+		return colstore.ScanStats{}, "", err
+	}
+	if format == FormatVTB {
+		r, err := colstore.OpenRSSI(path)
+		if err != nil {
+			return colstore.ScanStats{}, format, err
+		}
+		defer r.Close()
+		stats, err := r.Scan(pred, emit)
+		return stats, format, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return colstore.ScanStats{}, format, err
+	}
+	defer f.Close()
+	var stats colstore.ScanStats
+	err = ScanRSSICSV(f, func(m rssi.Measurement) {
+		stats.RowsScanned++
+		if matchRSSI(pred, m) {
+			stats.RowsMatched++
+			emit(m)
+		}
+	})
+	return stats, format, err
+}
+
+// ReadRSSIFile loads a whole RSSI file in either format.
+func ReadRSSIFile(path string) ([]rssi.Measurement, Format, error) {
+	var out []rssi.Measurement
+	_, format, err := ScanRSSIFile(path, colstore.Predicate{}, func(m rssi.Measurement) {
+		out = append(out, m)
+	})
+	return out, format, err
+}
+
+// matchTrajectory mirrors the row semantics of colstore's trajectory Scan
+// for the CSV fallback path.
+func matchTrajectory(p colstore.Predicate, s trajectory.Sample) bool {
+	if p.HasTime && (s.T < p.T0 || s.T > p.T1) {
+		return false
+	}
+	if p.HasObj && s.ObjID != p.Obj {
+		return false
+	}
+	if p.HasFloor && s.Loc.Floor != p.Floor {
+		return false
+	}
+	if p.HasBox && (!s.Loc.HasPoint || !p.Box.Contains(s.Loc.Point)) {
+		return false
+	}
+	return true
+}
+
+// matchRSSI mirrors the row semantics of colstore's RSSI Scan (floor/box
+// constraints do not apply).
+func matchRSSI(p colstore.Predicate, m rssi.Measurement) bool {
+	if p.HasTime && (m.T < p.T0 || m.T > p.T1) {
+		return false
+	}
+	if p.HasObj && m.ObjID != p.Obj {
+		return false
+	}
+	return true
+}

@@ -20,96 +20,175 @@ import (
 //	estimate:    o_id, building, floor, partition, x, y, t
 //	proximity:   o_id, d_id, ts, te
 
-// WriteTrajectoryCSV writes samples as CSV with a header row.
-func WriteTrajectoryCSV(w io.Writer, samples []trajectory.Sample) error {
+// TrajectoryCSVWriter streams trajectory samples as CSV rows. It writes the
+// header up front so it can be fed record-by-record from the generation
+// pipeline; Close flushes buffered rows but leaves the underlying writer
+// open.
+type TrajectoryCSVWriter struct {
+	cw *csv.Writer
+}
+
+// NewTrajectoryCSVWriter returns a streaming writer, having written the
+// header row.
+func NewTrajectoryCSVWriter(w io.Writer) (*TrajectoryCSVWriter, error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"o_id", "building", "floor", "partition", "x", "y", "t"}); err != nil {
-		return fmt.Errorf("storage: write trajectory header: %w", err)
+		return nil, fmt.Errorf("storage: write trajectory header: %w", err)
+	}
+	return &TrajectoryCSVWriter{cw: cw}, nil
+}
+
+// Write appends one sample row.
+func (w *TrajectoryCSVWriter) Write(s trajectory.Sample) error {
+	rec := []string{
+		strconv.Itoa(s.ObjID),
+		s.Loc.Building,
+		strconv.Itoa(s.Loc.Floor),
+		s.Loc.Partition,
+		fmtF(s.Loc.Point.X),
+		fmtF(s.Loc.Point.Y),
+		fmtF(s.T),
+	}
+	if err := w.cw.Write(rec); err != nil {
+		return fmt.Errorf("storage: write trajectory row: %w", err)
+	}
+	return nil
+}
+
+// Close flushes buffered rows.
+func (w *TrajectoryCSVWriter) Close() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// WriteTrajectoryCSV writes samples as CSV with a header row.
+func WriteTrajectoryCSV(w io.Writer, samples []trajectory.Sample) error {
+	tw, err := NewTrajectoryCSVWriter(w)
+	if err != nil {
+		return err
 	}
 	for _, s := range samples {
-		rec := []string{
-			strconv.Itoa(s.ObjID),
-			s.Loc.Building,
-			strconv.Itoa(s.Loc.Floor),
-			s.Loc.Partition,
-			fmtF(s.Loc.Point.X),
-			fmtF(s.Loc.Point.Y),
-			fmtF(s.T),
-		}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("storage: write trajectory row: %w", err)
+		if err := tw.Write(s); err != nil {
+			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return tw.Close()
+}
+
+// parseTrajectoryRecord converts one post-header CSV record to a sample.
+func parseTrajectoryRecord(rec []string) (trajectory.Sample, error) {
+	objID, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return trajectory.Sample{}, fmt.Errorf("storage: bad o_id %q", rec[0])
+	}
+	floor, err := strconv.Atoi(rec[2])
+	if err != nil {
+		return trajectory.Sample{}, fmt.Errorf("storage: bad floor %q", rec[2])
+	}
+	x, y, t, err := parse3(rec[4], rec[5], rec[6])
+	if err != nil {
+		return trajectory.Sample{}, err
+	}
+	return trajectory.Sample{
+		ObjID: objID,
+		Loc:   model.At(rec[1], floor, rec[3], geom.Pt(x, y)),
+		T:     t,
+	}, nil
+}
+
+// ScanTrajectoryCSV parses CSV written by WriteTrajectoryCSV row by row,
+// without materializing the file.
+func ScanTrajectoryCSV(r io.Reader, emit func(trajectory.Sample)) error {
+	return scanRows(r, 7, func(rec []string) error {
+		s, err := parseTrajectoryRecord(rec)
+		if err != nil {
+			return err
+		}
+		emit(s)
+		return nil
+	})
 }
 
 // ReadTrajectoryCSV parses CSV written by WriteTrajectoryCSV.
 func ReadTrajectoryCSV(r io.Reader) ([]trajectory.Sample, error) {
-	rows, err := readAll(r, 7)
-	if err != nil {
+	var out []trajectory.Sample
+	if err := ScanTrajectoryCSV(r, func(s trajectory.Sample) { out = append(out, s) }); err != nil {
 		return nil, fmt.Errorf("storage: read trajectory: %w", err)
-	}
-	out := make([]trajectory.Sample, 0, len(rows))
-	for _, rec := range rows {
-		objID, err := strconv.Atoi(rec[0])
-		if err != nil {
-			return nil, fmt.Errorf("storage: bad o_id %q", rec[0])
-		}
-		floor, err := strconv.Atoi(rec[2])
-		if err != nil {
-			return nil, fmt.Errorf("storage: bad floor %q", rec[2])
-		}
-		x, y, t, err := parse3(rec[4], rec[5], rec[6])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, trajectory.Sample{
-			ObjID: objID,
-			Loc:   model.At(rec[1], floor, rec[3], geom.Pt(x, y)),
-			T:     t,
-		})
 	}
 	return out, nil
 }
 
-// WriteRSSICSV writes measurements as CSV with a header row.
-func WriteRSSICSV(w io.Writer, ms []rssi.Measurement) error {
+// RSSICSVWriter streams RSSI measurements as CSV rows; see
+// TrajectoryCSVWriter for the streaming contract.
+type RSSICSVWriter struct {
+	cw *csv.Writer
+}
+
+// NewRSSICSVWriter returns a streaming writer, having written the header
+// row.
+func NewRSSICSVWriter(w io.Writer) (*RSSICSVWriter, error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"o_id", "d_id", "rssi", "t"}); err != nil {
-		return fmt.Errorf("storage: write rssi header: %w", err)
+		return nil, fmt.Errorf("storage: write rssi header: %w", err)
+	}
+	return &RSSICSVWriter{cw: cw}, nil
+}
+
+// Write appends one measurement row.
+func (w *RSSICSVWriter) Write(m rssi.Measurement) error {
+	rec := []string{strconv.Itoa(m.ObjID), m.DeviceID, fmtF(m.RSSI), fmtF(m.T)}
+	if err := w.cw.Write(rec); err != nil {
+		return fmt.Errorf("storage: write rssi row: %w", err)
+	}
+	return nil
+}
+
+// Close flushes buffered rows.
+func (w *RSSICSVWriter) Close() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// WriteRSSICSV writes measurements as CSV with a header row.
+func WriteRSSICSV(w io.Writer, ms []rssi.Measurement) error {
+	rw, err := NewRSSICSVWriter(w)
+	if err != nil {
+		return err
 	}
 	for _, m := range ms {
-		rec := []string{strconv.Itoa(m.ObjID), m.DeviceID, fmtF(m.RSSI), fmtF(m.T)}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("storage: write rssi row: %w", err)
+		if err := rw.Write(m); err != nil {
+			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return rw.Close()
+}
+
+// ScanRSSICSV parses CSV written by WriteRSSICSV row by row, without
+// materializing the file.
+func ScanRSSICSV(r io.Reader, emit func(rssi.Measurement)) error {
+	return scanRows(r, 4, func(rec []string) error {
+		objID, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return fmt.Errorf("storage: bad o_id %q", rec[0])
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return fmt.Errorf("storage: bad rssi %q", rec[2])
+		}
+		t, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return fmt.Errorf("storage: bad t %q", rec[3])
+		}
+		emit(rssi.Measurement{ObjID: objID, DeviceID: rec[1], RSSI: v, T: t})
+		return nil
+	})
 }
 
 // ReadRSSICSV parses CSV written by WriteRSSICSV.
 func ReadRSSICSV(r io.Reader) ([]rssi.Measurement, error) {
-	rows, err := readAll(r, 4)
-	if err != nil {
+	var out []rssi.Measurement
+	if err := ScanRSSICSV(r, func(m rssi.Measurement) { out = append(out, m) }); err != nil {
 		return nil, fmt.Errorf("storage: read rssi: %w", err)
-	}
-	out := make([]rssi.Measurement, 0, len(rows))
-	for _, rec := range rows {
-		objID, err := strconv.Atoi(rec[0])
-		if err != nil {
-			return nil, fmt.Errorf("storage: bad o_id %q", rec[0])
-		}
-		v, err := strconv.ParseFloat(rec[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("storage: bad rssi %q", rec[2])
-		}
-		t, err := strconv.ParseFloat(rec[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("storage: bad t %q", rec[3])
-		}
-		out = append(out, rssi.Measurement{ObjID: objID, DeviceID: rec[1], RSSI: v, T: t})
 	}
 	return out, nil
 }
@@ -221,6 +300,29 @@ func readAll(r io.Reader, fields int) ([][]string, error) {
 	return rows[1:], nil // skip header
 }
 
+// scanRows streams the post-header records of r to parse, reusing one
+// record buffer.
+func scanRows(r io.Reader, fields int, parse func([]string) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = fields
+	cr.ReuseRecord = true
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			continue // header row
+		}
+		if err := parse(rec); err != nil {
+			return err
+		}
+	}
+}
+
 func parse3(a, b, c string) (float64, float64, float64, error) {
 	x, err := strconv.ParseFloat(a, 64)
 	if err != nil {
@@ -237,4 +339,9 @@ func parse3(a, b, c string) (float64, float64, float64, error) {
 	return x, y, t, nil
 }
 
+// fmtF renders floats with exactly 4 decimal places. CSV output is therefore
+// LOSSY: coordinates and timestamps are quantized to 1e-4 (0.1 mm / 0.1 ms),
+// so a CSV round trip reproduces values only to ±5e-5 — see the tolerance
+// test in csv_test.go. Workflows needing bit-exact ground truth should use
+// the VTB format (internal/colstore), whose round trip is lossless.
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -167,5 +168,43 @@ func TestCSVEmptyRoundTrips(t *testing.T) {
 	// A completely empty reader (no header) is not an error either.
 	if out, err := ReadEstimateCSV(strings.NewReader("")); err != nil || len(out) != 0 {
 		t.Fatalf("empty estimate read: %v, %d rows", err, len(out))
+	}
+}
+
+// TestCSVQuantizationTolerance pins the documented lossiness of the CSV
+// codec: fmtF quantizes to 4 decimal places, so full-precision values come
+// back within ±5e-5 but generally not bit-exact. (The VTB codec of
+// internal/colstore is the lossless counterpart; see its round-trip tests.)
+func TestCSVQuantizationTolerance(t *testing.T) {
+	in := []trajectory.Sample{
+		{ObjID: 1, Loc: model.At("b", 0, "p", geom.Pt(math.Pi, math.Sqrt2)), T: 1.0 / 3.0},
+		{ObjID: 2, Loc: model.At("b", 1, "p", geom.Pt(-math.E, 1e-5)), T: 123.456789},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrajectoryCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrajectoryCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 5e-5 // half of the 1e-4 quantum
+	exact := true
+	for i := range in {
+		for _, d := range []float64{
+			out[i].Loc.Point.X - in[i].Loc.Point.X,
+			out[i].Loc.Point.Y - in[i].Loc.Point.Y,
+			out[i].T - in[i].T,
+		} {
+			if math.Abs(d) > tol {
+				t.Errorf("row %d drifted by %g (> %g)", i, d, tol)
+			}
+			if d != 0 {
+				exact = false
+			}
+		}
+	}
+	if exact {
+		t.Error("full-precision values survived CSV exactly; quantization doc (and this test) are stale")
 	}
 }

@@ -33,6 +33,7 @@ package vita
 import (
 	"io"
 
+	"vita/internal/colstore"
 	"vita/internal/core"
 	"vita/internal/ifc"
 	"vita/internal/positioning"
@@ -99,6 +100,33 @@ func Generate(cfg Config) (*Dataset, error) {
 	return p.Run()
 }
 
+// Sink receives a run's data products as they are produced; see
+// core.Sink for the streaming contract. NewDirSink is the stock
+// implementation.
+type Sink = core.Sink
+
+// DirSink streams a run's outputs into a directory as trajectory.<ext> and
+// rssi.<ext> (CSV or VTB) plus the derived CSV tables.
+type DirSink = core.DirSink
+
+// NewDirSink creates dir if needed and opens streaming writers for the bulk
+// outputs in the given format (StorageCSV or StorageVTB).
+func NewDirSink(dir string, format StorageFormat) (*DirSink, error) {
+	return core.NewDirSink(dir, format)
+}
+
+// GenerateTo runs the pipeline like Generate while streaming the produced
+// data into sink record by record (trajectory and RSSI rows arrive in global
+// time order, so arbitrarily large runs persist without double buffering).
+// The caller owns sink and must Close it after GenerateTo returns.
+func GenerateTo(cfg Config, sink Sink) (*Dataset, error) {
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunTo(sink)
+}
+
 // EvaluateEstimates compares positioning estimates against the preserved
 // ground-truth trajectories, returning error statistics and the number of
 // floor mismatches.
@@ -132,6 +160,57 @@ func WriteTrajectoryCSV(w io.Writer, samples []Sample) error {
 // the query engine when serving a previously generated dataset.
 func ReadTrajectoryCSV(r io.Reader) ([]Sample, error) {
 	return storage.ReadTrajectoryCSV(r)
+}
+
+// --- columnar binary trajectory store (internal/colstore) ---
+
+// StorageFormat identifies an on-disk bulk encoding: the paper's CSV records
+// (4-decimal quantization) or the lossless block-columnar VTB binary.
+type StorageFormat = storage.Format
+
+// Supported storage formats.
+const (
+	StorageCSV = storage.FormatCSV
+	StorageVTB = storage.FormatVTB
+)
+
+// ScanPredicate restricts a trajectory-file scan (time window, floor, box,
+// object); the zero value matches everything. On VTB files each constraint
+// also prunes whole blocks via zone maps before any row is decoded.
+type ScanPredicate = colstore.Predicate
+
+// ScanStats reports how much of a VTB file a scan actually read.
+type ScanStats = colstore.ScanStats
+
+// DetectStorageFormat sniffs a file's format by magic bytes (extension is
+// ignored), so CSV and VTB datasets interoperate transparently.
+func DetectStorageFormat(path string) (StorageFormat, error) {
+	return storage.DetectFormat(path)
+}
+
+// ReadTrajectoryFile loads a trajectory file in either storage format,
+// detected by content, and reports which format it found.
+func ReadTrajectoryFile(path string) ([]Sample, StorageFormat, error) {
+	return storage.ReadTrajectoryFile(path)
+}
+
+// ScanTrajectoryFile streams the samples matching pred from a trajectory
+// file in either storage format. VTB scans push the predicate into the
+// block layer (zone-map pruning); CSV degrades to parse-and-filter.
+func ScanTrajectoryFile(path string, pred ScanPredicate, emit func(Sample)) (ScanStats, StorageFormat, error) {
+	return storage.ScanTrajectoryFile(path, pred, emit)
+}
+
+// WriteTrajectoryVTB persists samples in the VTB columnar format —
+// lossless, block-compressed, and zone-map indexed for pruned scans.
+func WriteTrajectoryVTB(w io.Writer, samples []Sample) error {
+	tw := colstore.NewTrajectoryWriter(w)
+	for _, s := range samples {
+		if err := tw.Write(s); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
 }
 
 // WriteEstimateCSV persists positioning estimates as CSV.
