@@ -11,7 +11,14 @@ package vita
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"vita/internal/colstore"
 	"vita/internal/device"
@@ -24,6 +31,7 @@ import (
 	"vita/internal/query"
 	"vita/internal/rng"
 	"vita/internal/rssi"
+	"vita/internal/serve"
 	"vita/internal/storage"
 	"vita/internal/topo"
 	"vita/internal/trajectory"
@@ -464,6 +472,163 @@ func BenchmarkVTBScanPruned(b *testing.B) {
 		}
 		b.ReportMetric(float64(stats.BlocksScanned), "blocks-read")
 		b.ReportMetric(float64(stats.BlocksPruned), "blocks-pruned")
+	}
+}
+
+// BenchmarkVTBScanParallel measures full-file decode throughput at several
+// worker counts over the shared 12k-sample benchmark image, then gates the
+// speedup: the p=8 sub-benchmark re-times both settings (minimum of several
+// runs, which filters scheduler noise) and fails the benchmark if parallel
+// decode is slower than sequential — the pool must never cost throughput.
+// Output is byte-identical at every level (see colstore's equality tests);
+// only wall clock may differ.
+func BenchmarkVTBScanParallel(b *testing.B) {
+	vtb, _, n := vtbBenchImage(b)
+	r, err := colstore.NewTrajectoryReader(bytes.NewReader(vtb), int64(len(vtb)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	scan := func(b *testing.B, p int) time.Duration {
+		start := time.Now()
+		rows := 0
+		if _, err := r.ScanParallel(colstore.Predicate{}, p, func(trajectory.Sample) { rows++ }); err != nil {
+			b.Fatal(err)
+		}
+		if rows != n {
+			b.Fatalf("decoded %d rows, want %d", rows, n)
+		}
+		return time.Since(start)
+	}
+	minOver := func(b *testing.B, p, reps int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			if d := scan(b, p); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	for _, p := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(len(vtb)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scan(b, p)
+			}
+			if p == 8 {
+				if runtime.GOMAXPROCS(0) < 2 {
+					return // single-core host: nothing to gate
+				}
+				// The gate's comparison scans are bookkeeping, not the
+				// measured workload.
+				b.StopTimer()
+				seq := minOver(b, 1, 7)
+				par := minOver(b, 8, 7)
+				b.ReportMetric(float64(seq)/float64(par), "speedup-vs-p1")
+				if par > seq {
+					b.Fatalf("parallel scan is slower than sequential: p=8 %v vs p=1 %v", par, seq)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeWarmVsCold is the acceptance gate for the serving daemon: a
+// warm vitaserve range query must be at least 5x faster than the cold-start
+// path vitaquery pays per invocation. Warm latency is the time for a real
+// HTTP round trip to deliver the full JSON response body from a server whose
+// footer, blocks and index are resident (what curl against a running daemon
+// measures). Cold latency is the full local path — open the file, parse the
+// footer, decode the surviving blocks sequentially, build the index, query —
+// with process spawn not even counted, so the bar is conservative. Both
+// sides are timed as the minimum over several runs on the shared 12k-sample
+// dataset.
+func BenchmarkServeWarmVsCold(b *testing.B) {
+	vtb, _, _ := vtbBenchImage(b)
+	dir := b.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "trajectory.vtb"), vtb, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	req := serve.RangeRequest{
+		Floor: 0,
+		Box:   geom.BBox{Min: geom.Pt(2, 2), Max: geom.Pt(14, 10)},
+		T0:    100, T1: 160,
+	}
+
+	ds, err := serve.Open(dir, serve.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	ts := httptest.NewServer(serve.NewServer(ds).Handler())
+	defer ts.Close()
+	client := &serve.Client{Base: ts.URL}
+	warmURL := ts.URL + "/v1/range?floor=0&box=" + serve.FormatBox(req.Box) + "&t0=100&t1=160"
+
+	// Correctness first: the served response must match local execution.
+	warm, err := client.Range(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(warm.Hits) == 0 {
+		b.Fatal("warm range query matched nothing")
+	}
+
+	coldOnce := func() {
+		cold, err := serve.Open(dir, serve.Config{CacheBytes: -1, IndexEntries: -1, Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := cold.Range(req)
+		cold.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Hits) != len(warm.Hits) {
+			b.Fatalf("cold query found %d hits, warm found %d", len(resp.Hits), len(warm.Hits))
+		}
+	}
+	warmOnce := func() {
+		res, err := http.Get(warmURL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := io.ReadAll(res.Body)
+		res.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.StatusCode != http.StatusOK || len(body) == 0 {
+			b.Fatalf("warm request failed: HTTP %d, %d bytes", res.StatusCode, len(body))
+		}
+	}
+	minOver := func(reps int, f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	warmOnce() // populate connection pool on top of the warm caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A warm round trip is ~100µs, so sampling its minimum widely is
+		// cheap and filters scheduler noise out of the gated ratio.
+		warmD := minOver(40, warmOnce)
+		coldD := minOver(10, coldOnce)
+		ratio := float64(coldD) / float64(warmD)
+		b.ReportMetric(float64(warmD.Microseconds()), "warm-us")
+		b.ReportMetric(float64(coldD.Microseconds()), "cold-us")
+		b.ReportMetric(ratio, "cold/warm")
+		if ratio < 5 {
+			b.Fatalf("warm serving is only %.1fx faster than cold start (warm %v, cold %v), want >= 5x",
+				ratio, warmD, coldD)
+		}
 	}
 }
 

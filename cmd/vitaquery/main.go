@@ -16,8 +16,15 @@
 // subcommand derives the block predicate its operator allows (range prunes
 // by window+floor+box, traj by object+window, knn/density by the window
 // widened by -maxgap so interpolation still sees its bracketing samples),
-// and the scan skips every block whose zone map rules it out. A line on
-// stderr reports how many blocks were actually read.
+// the scan skips every block whose zone map rules it out, and surviving
+// blocks decode in parallel (-parallelism workers). A line on stderr reports
+// how many blocks were actually read.
+//
+// With -server URL the same operators are sent to a running vitaserve
+// daemon instead of touching local files; execution and formatting go
+// through the exact same internal/serve pipeline, so the output is
+// byte-identical to local execution (watch excepted — it needs the raw
+// sample stream and stays local-only).
 //
 // watch replays the dataset sample-by-sample through a standing range query
 // and prints every enter/move/exit transition — the online half of the
@@ -30,13 +37,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
-	"strings"
 
 	"vita/internal/colstore"
-	"vita/internal/geom"
 	"vita/internal/query"
-	"vita/internal/storage"
+	"vita/internal/serve"
 	"vita/internal/trajectory"
 )
 
@@ -47,108 +51,82 @@ func main() {
 	}
 }
 
+// backend answers the query operators: a local serve.Dataset or a
+// serve.Client talking to a vitaserve daemon. Both return the same response
+// types rendered by the same formatters, which is what makes remote output
+// byte-identical to local output.
+type backend interface {
+	Range(serve.RangeRequest) (*serve.RangeResponse, error)
+	KNN(serve.KNNRequest) (*serve.KNNResponse, error)
+	Density(serve.DensityRequest) (*serve.DensityResponse, error)
+	Traj(serve.TrajRequest) (*serve.TrajResponse, error)
+	Info() (*serve.InfoResponse, error)
+}
+
 func run() error {
 	dataDir := flag.String("data", "out", "directory holding vitagen output")
-	bucket := flag.Float64("bucket", 60, "index time-bucket width in seconds")
-	maxGap := flag.Float64("maxgap", 10, "max sample gap in seconds for instant queries")
+	server := flag.String("server", "", "base URL of a running vitaserve daemon (empty = local execution)")
+	bucket := flag.Float64("bucket", 60, "index time-bucket width in seconds (local mode)")
+	maxGap := flag.Float64("maxgap", 10, "max sample gap in seconds for instant queries (local mode)")
+	parallelism := flag.Int("parallelism", 0, "block-decode workers for local VTB loads (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		return fmt.Errorf("missing subcommand: range | knn | density | traj | watch | info")
 	}
 
-	ld, err := newLoader(*dataDir)
-	if err != nil {
-		return err
+	var be backend
+	var ds *serve.Dataset // non-nil in local mode; watch and stderr stats need it
+	if *server != "" {
+		be = &serve.Client{Base: *server}
+	} else {
+		var err error
+		ds, err = serve.Open(*dataDir, serve.Config{
+			Query:       query.Options{BucketWidth: *bucket, MaxGap: *maxGap},
+			Parallelism: *parallelism,
+			// One-shot execution: nothing would ever hit a warm cache.
+			CacheBytes:   -1,
+			IndexEntries: -1,
+		})
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		be = ds
 	}
-	opts := query.Options{BucketWidth: *bucket, MaxGap: *maxGap}
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "range":
-		return runRange(ld, opts, args)
+		return runRange(be, ds, args)
 	case "knn":
-		return runKNN(ld, opts, args)
+		return runKNN(be, ds, args)
 	case "density":
-		return runDensity(ld, opts, args)
+		return runDensity(be, ds, args)
 	case "traj":
-		return runTraj(ld, opts, args)
+		return runTraj(be, ds, args)
 	case "watch":
-		return runWatch(ld, args)
+		if ds == nil {
+			return fmt.Errorf("watch needs the raw sample stream and is not supported with -server")
+		}
+		return runWatch(ds, args)
 	case "info":
-		return runInfo(ld, opts)
+		return runInfo(be, ds)
 	}
 	return fmt.Errorf("unknown subcommand %q", cmd)
 }
 
-// loader locates the trajectory file and loads it through the format layer,
-// pushing each operator's predicate into the scan.
-type loader struct {
-	path string
+// reportStats mirrors the pre-daemon behavior: in local mode over a VTB
+// file, a stderr line says how effective zone-map pruning was.
+func reportStats(ds *serve.Dataset, st serve.Stats) {
+	if ds == nil || st.Format != "vtb" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "vitaquery: %s: read %d of %d blocks (%d pruned by zone maps), %d rows matched\n",
+		filepath.Base(ds.Path()), st.Scan.BlocksScanned, st.Scan.BlocksTotal,
+		st.Scan.BlocksPruned, st.Scan.RowsMatched)
 }
 
-func newLoader(dir string) (*loader, error) {
-	for _, name := range []string{"trajectory.vtb", "trajectory.csv"} {
-		p := filepath.Join(dir, name)
-		if _, err := os.Stat(p); err == nil {
-			return &loader{path: p}, nil
-		}
-	}
-	return nil, fmt.Errorf("no trajectory.vtb or trajectory.csv in %s", dir)
-}
-
-// load returns the samples matching pred. For VTB files the load is a
-// zone-map pruned scan and a stats line goes to stderr; for CSV it is a full
-// parse with row filtering.
-func (l *loader) load(pred colstore.Predicate) ([]trajectory.Sample, error) {
-	var out []trajectory.Sample
-	stats, format, err := storage.ScanTrajectoryFile(l.path, pred, func(s trajectory.Sample) {
-		out = append(out, s)
-	})
-	if err != nil {
-		return nil, err
-	}
-	if format == storage.FormatVTB {
-		fmt.Fprintf(os.Stderr, "vitaquery: %s: read %d of %d blocks (%d pruned by zone maps), %d rows matched\n",
-			filepath.Base(l.path), stats.BlocksScanned, stats.BlocksTotal, stats.BlocksPruned, stats.RowsMatched)
-	}
-	return out, nil
-}
-
-// parseBox parses "x0,y0,x1,y1".
-func parseBox(s string) (geom.BBox, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != 4 {
-		return geom.BBox{}, fmt.Errorf("bad box %q, want x0,y0,x1,y1", s)
-	}
-	var v [4]float64
-	for i, p := range parts {
-		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return geom.BBox{}, fmt.Errorf("bad box coordinate %q", p)
-		}
-		v[i] = f
-	}
-	return geom.BBox{Min: geom.Pt(v[0], v[1]), Max: geom.Pt(v[2], v[3])}, nil
-}
-
-// parsePoint parses "x,y".
-func parsePoint(s string) (geom.Point, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != 2 {
-		return geom.Point{}, fmt.Errorf("bad point %q, want x,y", s)
-	}
-	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
-	if err != nil {
-		return geom.Point{}, fmt.Errorf("bad point coordinate %q", parts[0])
-	}
-	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
-	if err != nil {
-		return geom.Point{}, fmt.Errorf("bad point coordinate %q", parts[1])
-	}
-	return geom.Pt(x, y), nil
-}
-
-func runRange(ld *loader, opts query.Options, args []string) error {
+func runRange(be backend, ds *serve.Dataset, args []string) error {
 	fs := flag.NewFlagSet("range", flag.ExitOnError)
 	floor := fs.Int("floor", -1, "floor to search (-1 = all)")
 	boxStr := fs.String("box", "", "spatial box x0,y0,x1,y1 (required)")
@@ -157,31 +135,19 @@ func runRange(ld *loader, opts query.Options, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	box, err := parseBox(*boxStr)
+	box, err := serve.ParseBox(*boxStr)
 	if err != nil {
 		return err
 	}
-	// Range is exact on window, floor and box, so the full predicate can be
-	// pushed into the scan.
-	pred := colstore.Predicate{HasTime: true, T0: *t0, T1: *t1, HasBox: true, Box: box}
-	if *floor >= 0 {
-		pred.HasFloor, pred.Floor = true, *floor
-	}
-	samples, err := ld.load(pred)
+	resp, err := be.Range(serve.RangeRequest{Floor: *floor, Box: box, T0: *t0, T1: *t1})
 	if err != nil {
 		return err
 	}
-	ix := query.NewTrajectoryIndex(samples, opts)
-	hits := ix.Range(*floor, box, *t0, *t1)
-	for _, s := range hits {
-		fmt.Printf("obj %-4d t %8.2f  %s\n", s.ObjID, s.T, s.Loc)
-	}
-	fmt.Printf("%d samples, %d distinct objects in %v × [%g, %g]\n",
-		len(hits), len(ix.RangeObjects(*floor, box, *t0, *t1)), box, *t0, *t1)
-	return nil
+	reportStats(ds, resp.Stats)
+	return resp.WriteText(os.Stdout)
 }
 
-func runKNN(ld *loader, opts query.Options, args []string) error {
+func runKNN(be backend, ds *serve.Dataset, args []string) error {
 	fs := flag.NewFlagSet("knn", flag.ExitOnError)
 	floor := fs.Int("floor", 0, "floor to search")
 	atStr := fs.String("at", "", "query point x,y (required)")
@@ -190,57 +156,33 @@ func runKNN(ld *loader, opts query.Options, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := parsePoint(*atStr)
+	p, err := serve.ParsePoint(*atStr)
 	if err != nil {
 		return err
 	}
-	// kNN interpolates between the samples bracketing t (within MaxGap) and
-	// disambiguates floor transitions using both endpoints, so push only the
-	// widened time window — not floor or box.
-	samples, err := ld.load(colstore.TimeWindow(*t-opts.MaxGap, *t+opts.MaxGap))
+	resp, err := be.KNN(serve.KNNRequest{Floor: *floor, At: p, T: *t, K: *k})
 	if err != nil {
 		return err
 	}
-	ix := query.NewTrajectoryIndex(samples, opts)
-	for i, n := range ix.KNN(*floor, p, *t, *k) {
-		fmt.Printf("#%d  obj %-4d dist %6.2fm  %s\n", i+1, n.ObjID, n.Dist, n.Loc)
-	}
-	return nil
+	reportStats(ds, resp.Stats)
+	return resp.WriteText(os.Stdout)
 }
 
-func runDensity(ld *loader, opts query.Options, args []string) error {
+func runDensity(be backend, ds *serve.Dataset, args []string) error {
 	fs := flag.NewFlagSet("density", flag.ExitOnError)
 	t := fs.Float64("t", 0, "snapshot instant (s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// Like kNN: interpolation needs the samples within MaxGap of t.
-	samples, err := ld.load(colstore.TimeWindow(*t-opts.MaxGap, *t+opts.MaxGap))
+	resp, err := be.Density(serve.DensityRequest{T: *t})
 	if err != nil {
 		return err
 	}
-	ix := query.NewTrajectoryIndex(samples, opts)
-	dens := ix.Density(*t)
-	parts := make([]string, 0, len(dens))
-	for p := range dens {
-		parts = append(parts, p)
-	}
-	sort.Slice(parts, func(i, j int) bool {
-		if dens[parts[i]] != dens[parts[j]] {
-			return dens[parts[i]] > dens[parts[j]]
-		}
-		return parts[i] < parts[j]
-	})
-	total := 0
-	for _, p := range parts {
-		fmt.Printf("%-16s %d\n", p, dens[p])
-		total += dens[p]
-	}
-	fmt.Printf("%d objects in %d partitions at t=%g\n", total, len(parts), *t)
-	return nil
+	reportStats(ds, resp.Stats)
+	return resp.WriteText(os.Stdout)
 }
 
-func runTraj(ld *loader, opts query.Options, args []string) error {
+func runTraj(be backend, ds *serve.Dataset, args []string) error {
 	fs := flag.NewFlagSet("traj", flag.ExitOnError)
 	obj := fs.Int("obj", 0, "object ID")
 	t0 := fs.Float64("t0", 0, "window start (s)")
@@ -248,39 +190,32 @@ func runTraj(ld *loader, opts query.Options, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	samples, err := ld.load(colstore.Predicate{
-		HasObj: true, Obj: *obj,
-		HasTime: true, T0: *t0, T1: *t1,
-	})
+	resp, err := be.Traj(serve.TrajRequest{Obj: *obj, T0: *t0, T1: *t1})
 	if err != nil {
 		return err
 	}
-	ix := query.NewTrajectoryIndex(samples, opts)
-	ser := ix.ObjectTrajectory(*obj, *t0, *t1)
-	for _, s := range ser {
-		fmt.Printf("t %8.2f  %s\n", s.T, s.Loc)
-	}
-	fmt.Printf("%d samples for object %d\n", len(ser), *obj)
-	return nil
+	reportStats(ds, resp.Stats)
+	return resp.WriteText(os.Stdout)
 }
 
-func runWatch(ld *loader, args []string) error {
+func runWatch(ds *serve.Dataset, args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	floor := fs.Int("floor", -1, "floor to watch (-1 = all)")
 	boxStr := fs.String("box", "", "spatial box x0,y0,x1,y1 (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	box, err := parseBox(*boxStr)
+	box, err := serve.ParseBox(*boxStr)
 	if err != nil {
 		return err
 	}
 	// The standing query needs every sample: an object exits when a sample
 	// lands outside the box (or floor), so nothing can be pruned away.
-	samples, err := ld.load(colstore.Predicate{})
+	samples, stats, err := ds.Samples(colstore.Predicate{})
 	if err != nil {
 		return err
 	}
+	reportStats(ds, stats)
 	// Replay in global time order so the transition log reads like a live
 	// feed.
 	ordered := make([]trajectory.Sample, len(samples))
@@ -301,20 +236,11 @@ func runWatch(ld *loader, args []string) error {
 	return nil
 }
 
-func runInfo(ld *loader, opts query.Options) error {
-	samples, err := ld.load(colstore.Predicate{})
+func runInfo(be backend, ds *serve.Dataset) error {
+	resp, err := be.Info()
 	if err != nil {
 		return err
 	}
-	ix := query.NewTrajectoryIndex(samples, opts)
-	t0, t1, ok := ix.TimeSpan()
-	if !ok {
-		fmt.Println("empty dataset")
-		return nil
-	}
-	fmt.Printf("samples   %d\n", ix.Len())
-	fmt.Printf("objects   %d\n", len(ix.Objects()))
-	fmt.Printf("floors    %v\n", ix.Floors())
-	fmt.Printf("time span [%g, %g] s\n", t0, t1)
-	return nil
+	reportStats(ds, resp.Stats)
+	return resp.WriteText(os.Stdout)
 }

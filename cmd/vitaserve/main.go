@@ -1,0 +1,97 @@
+// Command vitaserve is the long-lived query-serving daemon over vitagen
+// output. Where vitaquery pays cold-start on every invocation — reopen the
+// file, reparse the footer, decode blocks — vitaserve opens the dataset
+// directory once, keeps the VTB footer resident and hot decoded blocks in a
+// size-bounded LRU cache, and answers the query operators over HTTP:
+//
+//	vitaserve -data out -addr 127.0.0.1:7617
+//
+//	GET /v1/range?floor=0&box=0,0,20,15&t0=0&t1=120
+//	GET /v1/knn?floor=0&at=10,7.5&t=60&k=5
+//	GET /v1/density?t=60
+//	GET /v1/traj?obj=3&t0=0&t1=300
+//	GET /v1/info
+//	GET /healthz
+//	GET /statsz
+//
+// Responses are JSON and embed per-request scan stats (blocks pruned and
+// decoded, cache hits and misses); /statsz aggregates them over the daemon's
+// lifetime. `vitaquery -server URL` sends the same operators here and prints
+// output byte-identical to local execution.
+//
+// SIGINT or SIGTERM stops the daemon gracefully: the listener closes,
+// in-flight requests drain (up to -drain), then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+	"time"
+
+	"vita/internal/query"
+	"vita/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vitaserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dataDir := flag.String("data", "out", "directory holding vitagen output")
+	addr := flag.String("addr", "127.0.0.1:7617", "listen address")
+	cacheMB := flag.Int("cache-mb", 64, "decoded-block cache budget in MiB (0 disables)")
+	indexEntries := flag.Int("index-entries", 16, "cached spatio-temporal indexes (0 disables)")
+	indexMB := flag.Int("index-mb", 256, "index cache byte budget in MiB (0 = unbounded bytes)")
+	parallelism := flag.Int("parallelism", 0, "block-decode workers (0 = GOMAXPROCS)")
+	bucket := flag.Float64("bucket", 60, "index time-bucket width in seconds")
+	maxGap := flag.Float64("maxgap", 10, "max sample gap in seconds for instant queries")
+	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain timeout on shutdown")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Query:        query.Options{BucketWidth: *bucket, MaxGap: *maxGap},
+		Parallelism:  *parallelism,
+		CacheBytes:   int64(*cacheMB) << 20,
+		IndexEntries: *indexEntries,
+		IndexBytes:   int64(*indexMB) << 20,
+	}
+	if *cacheMB == 0 {
+		cfg.CacheBytes = -1
+	}
+	if *indexEntries == 0 {
+		cfg.IndexEntries = -1
+	}
+	if *indexMB == 0 {
+		cfg.IndexBytes = -1
+	}
+	ds, err := serve.Open(*dataDir, cfg)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "vitaserve: serving %s (%s, %d samples, %d blocks) on http://%s\n",
+		ds.Path(), ds.Format(), ds.Len(), ds.Blocks(), l.Addr())
+
+	srv := serve.NewServer(ds)
+	if err := srv.RunUntilSignal(context.Background(), l, *drain, syscall.SIGINT, syscall.SIGTERM); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "vitaserve: drained and stopped after %.1fs: %d range, %d knn, %d density, %d traj, %d info; cache %d hits / %d misses / %d evictions, %d index hits\n",
+		st.UptimeSeconds, st.Requests["range"], st.Requests["knn"], st.Requests["density"],
+		st.Requests["traj"], st.Requests["info"],
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.IndexHits)
+	return nil
+}

@@ -159,6 +159,11 @@ func TimeWindow(t0, t1 float64) Predicate {
 	return Predicate{HasTime: true, T0: t0, T1: t1}
 }
 
+// SkipBlock reports whether the zone map proves no row of the block can
+// match p. Callers that fetch blocks themselves (for example through a block
+// cache, like internal/serve) use it to reproduce Scan's pruning exactly.
+func (p Predicate) SkipBlock(zm ZoneMap) bool { return p.skipBlock(zm) }
+
 // skipBlock reports whether the zone map proves no row of the block can
 // match p.
 func (p Predicate) skipBlock(zm ZoneMap) bool {

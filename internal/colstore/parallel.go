@@ -1,0 +1,173 @@
+package colstore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+// Block-parallel decode. Blocks are independent units — each carries its own
+// column encodings and compression frame — so after zone-map pruning the
+// surviving blocks can be fetched and decoded by a worker pool (mirroring the
+// per-object generation pool of internal/trajectory) while the caller still
+// receives rows in file order: workers publish per-block results and a merge
+// loop emits them in sequence. A semaphore bounds the number of
+// decoded-but-not-yet-merged blocks so a fast worker cannot materialize the
+// whole file ahead of a slow consumer.
+
+// ScanParallel is Scan with block decode spread over a worker pool.
+// parallelism 0 means runtime.GOMAXPROCS(0); 1 decodes inline exactly like
+// Scan. Output order, emitted rows, and stats are identical to Scan at every
+// parallelism level; only wall-clock differs. emit is never invoked
+// concurrently, but with parallelism > 1 it runs on the calling goroutine
+// while workers decode ahead.
+func (tr *TrajectoryReader) ScanParallel(pred Predicate, parallelism int, emit func(trajectory.Sample)) (ScanStats, error) {
+	return scanParallel(tr.rd, pred, parallelism, decodeTrajectoryRows, Predicate.MatchTrajectory, emit)
+}
+
+// ScanParallel is Scan with block decode spread over a worker pool; see
+// TrajectoryReader.ScanParallel for the contract.
+func (rr *RSSIReader) ScanParallel(pred Predicate, parallelism int, emit func(rssi.Measurement)) (ScanStats, error) {
+	// As in the sequential Scan, floor/box constraints are meaningless for
+	// RSSI rows; drop them so they neither prune blocks nor filter rows.
+	pred.HasFloor, pred.HasBox = false, false
+	return scanParallel(rr.rd, pred, parallelism, decodeRSSIRows, Predicate.MatchRSSI, emit)
+}
+
+func decodeTrajectoryRows(raw []byte) ([]trajectory.Sample, error) {
+	var out []trajectory.Sample
+	err := decodeTrajectoryBlock(raw, func(s trajectory.Sample) { out = append(out, s) })
+	return out, err
+}
+
+func decodeRSSIRows(raw []byte) ([]rssi.Measurement, error) {
+	var out []rssi.Measurement
+	err := decodeRSSIBlock(raw, func(m rssi.Measurement) { out = append(out, m) })
+	return out, err
+}
+
+// blockResult carries one decoded block from a worker to the merge loop.
+type blockResult[T any] struct {
+	rows    []T // rows that passed the predicate, in block order
+	scanned int // rows decoded (before filtering)
+	err     error
+}
+
+func scanParallel[T any](rd *reader, pred Predicate, parallelism int,
+	decode func([]byte) ([]T, error), match func(Predicate, T) bool,
+	emit func(T)) (ScanStats, error) {
+
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	stats := ScanStats{BlocksTotal: len(rd.zones)}
+	surviving := make([]int, 0, len(rd.zones))
+	for i, zm := range rd.zones {
+		if pred.skipBlock(zm) {
+			stats.BlocksPruned++
+		} else {
+			surviving = append(surviving, i)
+		}
+	}
+
+	if parallelism == 1 || len(surviving) <= 1 {
+		for _, i := range surviving {
+			stats.BlocksScanned++
+			raw, err := rd.block(i)
+			if err != nil {
+				return stats, err
+			}
+			rows, err := decode(raw)
+			if err != nil {
+				return stats, fmt.Errorf("block %d: %w", i, err)
+			}
+			stats.RowsScanned += len(rows)
+			for _, r := range rows {
+				if match(pred, r) {
+					stats.RowsMatched++
+					emit(r)
+				}
+			}
+		}
+		return stats, nil
+	}
+
+	results := make([]blockResult[T], len(surviving))
+	done := make([]chan struct{}, len(surviving))
+	for j := range done {
+		done[j] = make(chan struct{})
+	}
+	// Each in-flight block holds one semaphore token, acquired *before* the
+	// block index is claimed so claims stay within a bounded window of the
+	// merge frontier; the merge loop releases the token after consuming the
+	// block. Capacity 2×workers keeps every worker busy while the merger
+	// catches up without unbounded buffering.
+	workers := parallelism
+	if workers > len(surviving) {
+		workers = len(surviving)
+	}
+	sem := make(chan struct{}, 2*workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sem <- struct{}{}
+				j := int(next.Add(1) - 1)
+				if j >= len(surviving) {
+					<-sem
+					return
+				}
+				res := &results[j]
+				raw, err := rd.block(surviving[j])
+				if err != nil {
+					res.err = err
+				} else if rows, err := decode(raw); err != nil {
+					res.err = fmt.Errorf("block %d: %w", surviving[j], err)
+				} else {
+					res.scanned = len(rows)
+					kept := rows[:0]
+					for _, r := range rows {
+						if match(pred, r) {
+							kept = append(kept, r)
+						}
+					}
+					res.rows = kept
+				}
+				close(done[j])
+			}
+		}()
+	}
+
+	// Merge in file order. On a block error the remaining blocks are still
+	// drained (workers finish their wasted decodes — corrupt files are the
+	// rare case) but nothing after the failed block is emitted or counted,
+	// matching the sequential Scan's stop-at-error stats.
+	var firstErr error
+	for j := range surviving {
+		<-done[j]
+		res := &results[j]
+		if firstErr == nil {
+			stats.BlocksScanned++
+			if res.err != nil {
+				firstErr = res.err
+			} else {
+				stats.RowsScanned += res.scanned
+				for _, r := range res.rows {
+					stats.RowsMatched++
+					emit(r)
+				}
+			}
+		}
+		results[j] = blockResult[T]{}
+		<-sem
+	}
+	wg.Wait()
+	return stats, firstErr
+}

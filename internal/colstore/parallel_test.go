@@ -1,0 +1,174 @@
+package colstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"vita/internal/geom"
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+// TestScanParallelMatchesSequential is the equality gate for block-parallel
+// decode: at every tested parallelism level, ScanParallel must emit exactly
+// the rows of the sequential Scan, in the same order, with the same stats.
+func TestScanParallelMatchesSequential(t *testing.T) {
+	samples := gridSamples(10, 600) // 6000 rows over many 256-row blocks
+	data := writeTrajectory(t, samples, Options{BlockSize: 256})
+	r := readTrajectory(t, data)
+
+	preds := map[string]Predicate{
+		"all":         {},
+		"time window": TimeWindow(100, 130),
+		"object":      {HasObj: true, Obj: 3},
+		"floor":       {HasFloor: true, Floor: 1},
+		"box": {HasBox: true,
+			Box: geom.BBox{Min: geom.Pt(10, 0), Max: geom.Pt(20, 3)}},
+		"combined": {HasTime: true, T0: 50, T1: 400, HasFloor: true, Floor: 0,
+			HasBox: true, Box: geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(30, 6)}},
+		"nothing": TimeWindow(1e6, 2e6),
+	}
+	for name, pred := range preds {
+		var want []trajectory.Sample
+		wantStats, err := r.Scan(pred, func(s trajectory.Sample) { want = append(want, s) })
+		if err != nil {
+			t.Fatalf("%s: sequential scan: %v", name, err)
+		}
+		for _, p := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/p=%d", name, p), func(t *testing.T) {
+				var got []trajectory.Sample
+				gotStats, err := r.ScanParallel(pred, p, func(s trajectory.Sample) { got = append(got, s) })
+				if err != nil {
+					t.Fatalf("parallel scan: %v", err)
+				}
+				if gotStats != wantStats {
+					t.Errorf("stats differ: got %+v, want %+v", gotStats, wantStats)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("emitted %d rows, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if !sampleEqual(got[i], want[i]) {
+						t.Fatalf("row %d differs: got %+v, want %+v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestScanParallelRSSI(t *testing.T) {
+	var ms []rssi.Measurement
+	for i := 0; i < 3000; i++ {
+		ms = append(ms, rssi.Measurement{
+			ObjID:    i % 12,
+			DeviceID: []string{"wifi-1", "wifi-2"}[i%2],
+			RSSI:     -40 - float64(i%50),
+			T:        float64(i) * 0.5,
+		})
+	}
+	var buf bytes.Buffer
+	w := NewRSSIWriterOptions(&buf, Options{BlockSize: 128})
+	for _, m := range ms {
+		if err := w.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRSSIReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Floor/box constraints must be ignored on RSSI rows at any parallelism.
+	pred := Predicate{HasTime: true, T0: 100, T1: 900, HasObj: true, Obj: 5,
+		HasFloor: true, Floor: 99, HasBox: true, Box: geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}}
+	var want []rssi.Measurement
+	wantStats, err := r.Scan(pred, func(m rssi.Measurement) { want = append(want, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("test predicate matched nothing")
+	}
+	for _, p := range []int{1, 2, 8} {
+		var got []rssi.Measurement
+		gotStats, err := r.ScanParallel(pred, p, func(m rssi.Measurement) { got = append(got, m) })
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if gotStats != wantStats {
+			t.Errorf("p=%d: stats differ: got %+v, want %+v", p, gotStats, wantStats)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: emitted %d rows, want %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if !measurementEqual(got[i], want[i]) {
+				t.Fatalf("p=%d: row %d differs", p, i)
+			}
+		}
+	}
+}
+
+// TestScanParallelCorruptBlock checks that a decode error inside the pool
+// surfaces as an error (not a panic or deadlock) and that no rows from or
+// after the failed block are emitted.
+func TestScanParallelCorruptBlock(t *testing.T) {
+	samples := gridSamples(4, 400)
+	data := writeTrajectory(t, samples, Options{BlockSize: 64})
+	r := readTrajectory(t, data)
+	// Corrupt a block somewhere in the middle of the file.
+	mid := r.rd.offsets[len(r.rd.offsets)/2]
+	mangled := append([]byte{}, data...)
+	for i := mid + 12; i < mid+40 && i < int64(len(mangled)); i++ {
+		mangled[i] ^= 0xff
+	}
+	mr, err := NewTrajectoryReader(bytes.NewReader(mangled), int64(len(mangled)))
+	if err != nil {
+		t.Skip("corruption caught at open; block decode not reachable")
+	}
+	for _, p := range []int{2, 8} {
+		emitted := 0
+		if _, err := mr.ScanParallel(Predicate{}, p, func(trajectory.Sample) { emitted++ }); err == nil {
+			t.Fatalf("p=%d: scanning mangled file succeeded", p)
+		}
+		if emitted >= len(samples) {
+			t.Fatalf("p=%d: emitted %d rows despite corrupt block", p, emitted)
+		}
+	}
+}
+
+func TestDecodeBlock(t *testing.T) {
+	samples := gridSamples(6, 300)
+	data := writeTrajectory(t, samples, Options{BlockSize: 128})
+	r := readTrajectory(t, data)
+	zones := r.Blocks()
+	var all []trajectory.Sample
+	for i := range zones {
+		rows, err := r.DecodeBlock(i)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if len(rows) != zones[i].Count {
+			t.Fatalf("block %d: decoded %d rows, zone map says %d", i, len(rows), zones[i].Count)
+		}
+		all = append(all, rows...)
+	}
+	if len(all) != len(samples) {
+		t.Fatalf("blocks hold %d rows, want %d", len(all), len(samples))
+	}
+	for i := range all {
+		if !sampleEqual(all[i], samples[i]) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	if _, err := r.DecodeBlock(-1); err == nil {
+		t.Error("DecodeBlock(-1) succeeded")
+	}
+	if _, err := r.DecodeBlock(len(zones)); err == nil {
+		t.Error("DecodeBlock(len) succeeded")
+	}
+}

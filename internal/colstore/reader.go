@@ -173,6 +173,21 @@ func (tr *TrajectoryReader) Blocks() []ZoneMap {
 	return out
 }
 
+// MatchTrajectory reports whether a trajectory row satisfies the predicate —
+// the exact row semantics of a trajectory Scan, exported so other layers
+// (CSV fallback, block caches) can filter identically.
+func (p Predicate) MatchTrajectory(s trajectory.Sample) bool {
+	return p.matchCommon(s.ObjID, s.T) &&
+		(!p.HasFloor || s.Loc.Floor == p.Floor) &&
+		(!p.HasBox || (s.Loc.HasPoint && p.Box.Contains(s.Loc.Point)))
+}
+
+// MatchRSSI reports whether an RSSI row satisfies the predicate. Floor and
+// box constraints do not apply to RSSI rows and are ignored.
+func (p Predicate) MatchRSSI(m rssi.Measurement) bool {
+	return p.matchCommon(m.ObjID, m.T)
+}
+
 // Scan streams every sample matching pred to emit, in file order, skipping
 // whole blocks whose zone maps rule them out. The returned stats report how
 // effective the pruning was.
@@ -190,9 +205,7 @@ func (tr *TrajectoryReader) Scan(pred Predicate, emit func(trajectory.Sample)) (
 		}
 		if err := decodeTrajectoryBlock(raw, func(s trajectory.Sample) {
 			stats.RowsScanned++
-			if pred.matchCommon(s.ObjID, s.T) &&
-				(!pred.HasFloor || s.Loc.Floor == pred.Floor) &&
-				(!pred.HasBox || (s.Loc.HasPoint && pred.Box.Contains(s.Loc.Point))) {
+			if pred.MatchTrajectory(s) {
 				stats.RowsMatched++
 				emit(s)
 			}
@@ -201,6 +214,25 @@ func (tr *TrajectoryReader) Scan(pred Predicate, emit func(trajectory.Sample)) (
 		}
 	}
 	return stats, nil
+}
+
+// DecodeBlock decodes block i (0 <= i < len(Blocks())) in full, ignoring any
+// predicate. It is the cache-friendly entry point: a serving layer that keeps
+// decoded blocks resident fetches them here once and filters rows itself with
+// Predicate.MatchTrajectory. Safe for concurrent use.
+func (tr *TrajectoryReader) DecodeBlock(i int) ([]trajectory.Sample, error) {
+	if i < 0 || i >= len(tr.rd.zones) {
+		return nil, fmt.Errorf("colstore: block index %d out of range [0, %d)", i, len(tr.rd.zones))
+	}
+	raw, err := tr.rd.block(i)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]trajectory.Sample, 0, tr.rd.zones[i].Count)
+	if err := decodeTrajectoryBlock(raw, func(s trajectory.Sample) { out = append(out, s) }); err != nil {
+		return nil, fmt.Errorf("block %d: %w", i, err)
+	}
+	return out, nil
 }
 
 // ReadAll decodes the whole file.
@@ -303,7 +335,7 @@ func (rr *RSSIReader) Scan(pred Predicate, emit func(rssi.Measurement)) (ScanSta
 		}
 		if err := decodeRSSIBlock(raw, func(m rssi.Measurement) {
 			stats.RowsScanned++
-			if pred.matchCommon(m.ObjID, m.T) {
+			if pred.MatchRSSI(m) {
 				stats.RowsMatched++
 				emit(m)
 			}
@@ -312,6 +344,23 @@ func (rr *RSSIReader) Scan(pred Predicate, emit func(rssi.Measurement)) (ScanSta
 		}
 	}
 	return stats, nil
+}
+
+// DecodeBlock decodes block i in full, ignoring any predicate; see
+// TrajectoryReader.DecodeBlock. Safe for concurrent use.
+func (rr *RSSIReader) DecodeBlock(i int) ([]rssi.Measurement, error) {
+	if i < 0 || i >= len(rr.rd.zones) {
+		return nil, fmt.Errorf("colstore: block index %d out of range [0, %d)", i, len(rr.rd.zones))
+	}
+	raw, err := rr.rd.block(i)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rssi.Measurement, 0, rr.rd.zones[i].Count)
+	if err := decodeRSSIBlock(raw, func(m rssi.Measurement) { out = append(out, m) }); err != nil {
+		return nil, fmt.Errorf("block %d: %w", i, err)
+	}
+	return out, nil
 }
 
 // ReadAll decodes the whole file.

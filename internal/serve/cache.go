@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"vita/internal/trajectory"
+)
+
+// BlockCache is a size-bounded LRU cache of decoded VTB blocks, keyed by
+// block index within the owning dataset's trajectory file. It holds fully
+// decoded, unfiltered blocks so one cached decode serves every predicate;
+// callers filter rows with colstore.Predicate.MatchTrajectory. Safe for
+// concurrent use.
+type BlockCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[int]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	block int
+	rows  []trajectory.Sample
+	bytes int64
+}
+
+// NewBlockCache returns a cache that holds at most maxBytes of decoded rows
+// (approximate accounting, see samplesBytes). maxBytes <= 0 disables caching:
+// every Get misses and Put is a no-op.
+func NewBlockCache(maxBytes int64) *BlockCache {
+	return &BlockCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  make(map[int]*list.Element),
+	}
+}
+
+// Get returns the cached rows for a block and marks them most recently used.
+// The returned slice is shared — callers must not modify it.
+func (c *BlockCache) Get(block int) ([]trajectory.Sample, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[block]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rows, true
+}
+
+// Put inserts the decoded rows for a block, evicting least-recently-used
+// entries until the byte budget holds. A block larger than the whole budget
+// is not cached at all.
+func (c *BlockCache) Put(block int, rows []trajectory.Sample) {
+	size := samplesBytes(rows)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.maxBytes {
+		return
+	}
+	if el, ok := c.entries[block]; ok {
+		c.bytes += size - el.Value.(*cacheEntry).bytes
+		el.Value.(*cacheEntry).rows = rows
+		el.Value.(*cacheEntry).bytes = size
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[block] = c.ll.PushFront(&cacheEntry{block: block, rows: rows, bytes: size})
+		c.bytes += size
+	}
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, e.block)
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness and size.
+type CacheStats struct {
+	Blocks    int   `json:"blocks"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *BlockCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Blocks:    len(c.entries),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// keysMRU returns the cached block indexes from most to least recently used
+// (test hook for eviction-order assertions).
+func (c *BlockCache) keysMRU() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).block)
+	}
+	return out
+}
+
+// sampleFixedBytes approximates the in-memory footprint of one sample minus
+// its string payloads: the struct itself (ObjID, Location with two string
+// headers, Point, HasPoint, T) rounded to 96 bytes.
+const sampleFixedBytes = 96
+
+// samplesBytes approximates the resident size of a decoded block: fixed
+// struct cost per row plus the string bytes it references. The figure feeds
+// the cache's byte budget; it intentionally ignores allocator slack and
+// string interning, so treat budgets as approximate.
+func samplesBytes(rows []trajectory.Sample) int64 {
+	n := int64(len(rows)) * sampleFixedBytes
+	for i := range rows {
+		n += int64(len(rows[i].Loc.Building) + len(rows[i].Loc.Partition))
+	}
+	return n
+}

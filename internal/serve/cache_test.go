@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/trajectory"
+)
+
+// rowsOfSize builds a block whose samplesBytes is exactly n*sampleFixedBytes
+// (empty strings carry no extra bytes).
+func rowsOfSize(n int) []trajectory.Sample {
+	out := make([]trajectory.Sample, n)
+	for i := range out {
+		out[i] = trajectory.Sample{ObjID: i, T: float64(i),
+			Loc: model.Location{Point: geom.Pt(1, 2), HasPoint: true}}
+	}
+	return out
+}
+
+func TestBlockCacheEvictionOrder(t *testing.T) {
+	// Budget holds exactly three one-row blocks.
+	c := NewBlockCache(3 * sampleFixedBytes)
+	for i := 0; i < 3; i++ {
+		c.Put(i, rowsOfSize(1))
+	}
+	if got := c.keysMRU(); len(got) != 3 || got[0] != 2 || got[2] != 0 {
+		t.Fatalf("MRU order after fills: %v", got)
+	}
+	// Touch block 0: it becomes most recent, so block 1 is now LRU.
+	if _, ok := c.Get(0); !ok {
+		t.Fatal("block 0 missing")
+	}
+	c.Put(3, rowsOfSize(1))
+	if _, ok := c.Get(1); ok {
+		t.Error("block 1 survived eviction despite being LRU")
+	}
+	for _, want := range []int{0, 2, 3} {
+		if _, ok := c.Get(want); !ok {
+			t.Errorf("%v evicted, want resident", want)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Blocks != 3 {
+		t.Errorf("blocks = %d, want 3", st.Blocks)
+	}
+}
+
+func TestBlockCacheByteAccounting(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	rows := []trajectory.Sample{
+		{ObjID: 1, Loc: model.At("building", 0, "lobby", geom.Pt(1, 2)), T: 3},
+		{ObjID: 2, Loc: model.AtPartition("b", 1, "p")},
+	}
+	want := int64(2*sampleFixedBytes + len("building") + len("lobby") + len("b") + len("p"))
+	if got := samplesBytes(rows); got != want {
+		t.Fatalf("samplesBytes = %d, want %d", got, want)
+	}
+	c.Put(0, rows)
+	c.Put(1, rowsOfSize(4))
+	if st := c.Stats(); st.Bytes != want+4*sampleFixedBytes {
+		t.Errorf("cache bytes = %d, want %d", st.Bytes, want+4*sampleFixedBytes)
+	}
+	// Replacing a key adjusts the account instead of double counting.
+	c.Put(0, rowsOfSize(1))
+	if st := c.Stats(); st.Bytes != 5*sampleFixedBytes {
+		t.Errorf("cache bytes after replace = %d, want %d", st.Bytes, 5*sampleFixedBytes)
+	}
+}
+
+func TestBlockCacheOversizedBlock(t *testing.T) {
+	c := NewBlockCache(2 * sampleFixedBytes)
+	c.Put(0, rowsOfSize(10)) // larger than the whole budget
+	if st := c.Stats(); st.Blocks != 0 || st.Bytes != 0 {
+		t.Errorf("oversized block was cached: %+v", st)
+	}
+	// A fitting block still works afterwards.
+	c.Put(1, rowsOfSize(1))
+	if _, ok := c.Get(1); !ok {
+		t.Error("fitting block not cached")
+	}
+}
+
+func TestBlockCacheHitMissCounters(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	if _, ok := c.Get(0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(0, rowsOfSize(1))
+	c.Get(0)
+	c.Get(0)
+	c.Get(9)
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+}
+
+func TestIndexCacheLRU(t *testing.T) {
+	c := newIndexCache(2, -1)
+	c.put("a", nil, 10)
+	c.put("b", nil, 10)
+	c.get("a") // refresh: "b" becomes LRU
+	c.put("c", nil, 10)
+	if _, ok := c.get("b"); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("new entry missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestIndexCacheByteBound(t *testing.T) {
+	// Count bound alone would hold 10 entries; the byte budget holds 3.
+	c := newIndexCache(10, 30)
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprintf("k%d", i), nil, 10)
+	}
+	if c.len() != 3 || c.bytes != 30 {
+		t.Fatalf("len/bytes = %d/%d, want 3/30", c.len(), c.bytes)
+	}
+	for _, gone := range []string{"k0", "k1"} {
+		if _, ok := c.get(gone); ok {
+			t.Errorf("%s survived byte-bound eviction", gone)
+		}
+	}
+	// An index larger than the whole budget is never cached.
+	c.put("huge", nil, 100)
+	if _, ok := c.get("huge"); ok {
+		t.Error("oversized index was cached")
+	}
+	// Replacing an entry adjusts the byte account instead of double counting.
+	c.put("k4", nil, 25)
+	if c.bytes > 30 {
+		t.Errorf("bytes = %d after replace, want <= 30", c.bytes)
+	}
+}

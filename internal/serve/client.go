@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client is the remote counterpart of Dataset: the same operator methods
+// with the same request/response types, executed by a running vitaserve
+// daemon. Query parameters are rendered with full float64 round-trip
+// precision, so a remote query sees bit-identical parameters — and returns
+// bit-identical results — to a local one.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:7617".
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// Range executes a range query on the server.
+func (c *Client) Range(q RangeRequest) (*RangeResponse, error) {
+	v := url.Values{}
+	v.Set("floor", strconv.Itoa(q.Floor))
+	v.Set("box", FormatBox(q.Box))
+	v.Set("t0", formatFloats(q.T0))
+	v.Set("t1", formatFloats(q.T1))
+	var resp RangeResponse
+	if err := c.get("/v1/range", v, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// KNN executes a k-nearest-neighbors query on the server.
+func (c *Client) KNN(q KNNRequest) (*KNNResponse, error) {
+	v := url.Values{}
+	v.Set("floor", strconv.Itoa(q.Floor))
+	v.Set("at", FormatPoint(q.At))
+	v.Set("t", formatFloats(q.T))
+	v.Set("k", strconv.Itoa(q.K))
+	var resp KNNResponse
+	if err := c.get("/v1/knn", v, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Density executes a snapshot-density query on the server.
+func (c *Client) Density(q DensityRequest) (*DensityResponse, error) {
+	v := url.Values{}
+	v.Set("t", formatFloats(q.T))
+	var resp DensityResponse
+	if err := c.get("/v1/density", v, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Traj executes a trajectory-retrieval query on the server.
+func (c *Client) Traj(q TrajRequest) (*TrajResponse, error) {
+	v := url.Values{}
+	v.Set("obj", strconv.Itoa(q.Obj))
+	v.Set("t0", formatFloats(q.T0))
+	v.Set("t1", formatFloats(q.T1))
+	var resp TrajResponse
+	if err := c.get("/v1/traj", v, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Info fetches the dataset summary from the server.
+func (c *Client) Info() (*InfoResponse, error) {
+	var resp InfoResponse
+	if err := c.get("/v1/info", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's lifetime counters (/statsz).
+func (c *Client) Stats() (*ServerStats, error) {
+	var resp ServerStats
+	if err := c.get("/statsz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthy reports whether the server answers /healthz.
+func (c *Client) Healthy() bool {
+	var resp map[string]string
+	return c.get("/healthz", nil, &resp) == nil
+}
+
+func (c *Client) get(path string, v url.Values, out any) error {
+	u := strings.TrimRight(c.Base, "/") + path
+	if len(v) > 0 {
+		u += "?" + v.Encode()
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	res, err := hc.Get(u)
+	if err != nil {
+		return fmt.Errorf("serve: GET %s: %w", path, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(res.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: %s: %s (HTTP %d)", path, e.Error, res.StatusCode)
+		}
+		return fmt.Errorf("serve: %s: HTTP %d", path, res.StatusCode)
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: %s: decode response: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,500 @@
+// Package serve is the query-serving layer over generated datasets: it opens
+// a dataset directory once, keeps the VTB footer (and hot decoded blocks)
+// resident, and answers the vitaquery operators — range, knn, density, traj —
+// repeatedly without paying cold-start per query. Server exposes the
+// operators over HTTP with JSON responses; Client is the matching remote
+// stub; vitaquery uses Dataset directly for local one-shot queries, so both
+// paths share one execution and formatting pipeline.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vita/internal/colstore"
+	"vita/internal/query"
+	"vita/internal/storage"
+	"vita/internal/trajectory"
+)
+
+// Config tunes an opened dataset. The zero value selects the defaults.
+type Config struct {
+	// Query is the spatio-temporal index layout (bucket width, max
+	// interpolation gap). Zero fields take query.DefaultOptions values.
+	Query query.Options
+	// Parallelism is the block-decode worker count (0 = GOMAXPROCS, 1 =
+	// sequential).
+	Parallelism int
+	// CacheBytes bounds the decoded-block LRU cache (default 64 MiB;
+	// negative disables caching).
+	CacheBytes int64
+	// IndexEntries bounds the per-predicate index cache by entry count
+	// (default 16; negative disables it).
+	IndexEntries int
+	// IndexBytes bounds the per-predicate index cache by approximate
+	// resident bytes, since a single wide-predicate index can hold a copy
+	// of the whole dataset (default 256 MiB; negative caches indexes
+	// regardless of size, bounded only by IndexEntries).
+	IndexBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.IndexEntries == 0 {
+		c.IndexEntries = 16
+	}
+	if c.IndexBytes == 0 {
+		c.IndexBytes = 256 << 20
+	}
+	return c
+}
+
+// Dataset is an opened trajectory dataset ready to answer queries. For VTB
+// files the footer (zone maps) stays resident and decoded blocks are cached;
+// for CSV files the rows themselves stay resident (the format has no block
+// structure to cache). Safe for concurrent use.
+type Dataset struct {
+	dir    string
+	path   string
+	format storage.Format
+
+	tr       *colstore.TrajectoryReader // VTB only
+	zones    []colstore.ZoneMap         // VTB only
+	resident []trajectory.Sample        // CSV only
+
+	cache *BlockCache
+	idx   *indexCache
+	par   int
+	qopts query.Options
+}
+
+// Open opens the trajectory data in dir — trajectory.vtb (preferred) or
+// trajectory.csv, detected by magic bytes — and prepares it for serving.
+func Open(dir string, cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	var path string
+	for _, name := range []string{"trajectory.vtb", "trajectory.csv"} {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			path = p
+			break
+		}
+	}
+	if path == "" {
+		return nil, fmt.Errorf("serve: no trajectory.vtb or trajectory.csv in %s", dir)
+	}
+	format, err := storage.DetectFormat(path)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		dir:    dir,
+		path:   path,
+		format: format,
+		par:    cfg.Parallelism,
+		qopts:  cfg.Query,
+	}
+	if cfg.CacheBytes > 0 {
+		d.cache = NewBlockCache(cfg.CacheBytes)
+	}
+	if cfg.IndexEntries > 0 {
+		d.idx = newIndexCache(cfg.IndexEntries, cfg.IndexBytes)
+	}
+	if format == storage.FormatVTB {
+		tr, err := colstore.OpenTrajectory(path)
+		if err != nil {
+			return nil, err
+		}
+		d.tr = tr
+		d.zones = tr.Blocks()
+	} else if d.cache != nil {
+		// CSV has no block structure to cache, so "warm" means the rows
+		// themselves stay resident. Without a cache budget (one-shot CLI
+		// use) every load streams from disk instead — see Samples.
+		samples, _, err := storage.ReadTrajectoryFile(path)
+		if err != nil {
+			return nil, err
+		}
+		d.resident = samples
+	}
+	return d, nil
+}
+
+// Close releases the underlying file.
+func (d *Dataset) Close() error {
+	if d.tr != nil {
+		return d.tr.Close()
+	}
+	return nil
+}
+
+// Dir returns the dataset directory.
+func (d *Dataset) Dir() string { return d.dir }
+
+// Path returns the trajectory file the dataset serves.
+func (d *Dataset) Path() string { return d.path }
+
+// Format returns the detected storage format.
+func (d *Dataset) Format() storage.Format { return d.format }
+
+// Blocks returns the number of blocks in a VTB dataset (0 for CSV).
+func (d *Dataset) Blocks() int { return len(d.zones) }
+
+// Len returns the total number of samples without decoding anything (VTB:
+// from the footer). A CSV dataset opened without a cache budget streams from
+// disk and has no resident count; Len then returns 0.
+func (d *Dataset) Len() int {
+	if d.tr != nil {
+		return d.tr.Len()
+	}
+	return len(d.resident)
+}
+
+// CacheStats returns the block-cache counters (zero value when caching is
+// disabled or the dataset is CSV).
+func (d *Dataset) CacheStats() CacheStats {
+	if d.cache == nil {
+		return CacheStats{}
+	}
+	return d.cache.Stats()
+}
+
+// Samples returns the samples matching pred in file order, along with what
+// the load cost. VTB datasets prune via zone maps, serve hot blocks from the
+// cache, and decode misses block-parallel; CSV datasets filter the resident
+// rows. With caching disabled both formats stream instead — one block (or
+// CSV row) in flight, nothing unfiltered retained — so one-shot callers like
+// vitaquery keep the memory profile of a plain scan.
+func (d *Dataset) Samples(pred colstore.Predicate) ([]trajectory.Sample, Stats, error) {
+	stats := Stats{Format: string(d.format)}
+	if d.tr == nil {
+		var out []trajectory.Sample
+		if d.resident == nil {
+			scan, _, err := storage.ScanTrajectoryFile(d.path, pred, func(s trajectory.Sample) {
+				out = append(out, s)
+			})
+			stats.Scan = scan
+			return out, stats, err
+		}
+		for _, s := range d.resident {
+			stats.Scan.RowsScanned++
+			if pred.MatchTrajectory(s) {
+				stats.Scan.RowsMatched++
+				out = append(out, s)
+			}
+		}
+		return out, stats, nil
+	}
+
+	if d.cache == nil {
+		var out []trajectory.Sample
+		scan, err := d.tr.ScanParallel(pred, d.par, func(s trajectory.Sample) {
+			out = append(out, s)
+		})
+		stats.Scan = scan
+		// Every scanned block was a decode; keep the misses-equal-decodes
+		// invariant the cached path maintains.
+		stats.CacheMisses = scan.BlocksScanned
+		return out, stats, err
+	}
+
+	stats.Scan.BlocksTotal = len(d.zones)
+	surviving := make([]int, 0, len(d.zones))
+	for i, zm := range d.zones {
+		if pred.SkipBlock(zm) {
+			stats.Scan.BlocksPruned++
+		} else {
+			surviving = append(surviving, i)
+		}
+	}
+
+	// First pass: pull what the cache already holds, and collect misses.
+	rows := make([][]trajectory.Sample, len(surviving))
+	var misses []int // indexes into surviving
+	for j, i := range surviving {
+		if cached, ok := d.cache.Get(i); ok {
+			rows[j] = cached
+			stats.CacheHits++
+			continue
+		}
+		misses = append(misses, j)
+	}
+	stats.CacheMisses = len(misses)
+
+	// Second pass: decode the misses block-parallel and cache them.
+	if err := d.decodeMisses(surviving, misses, rows); err != nil {
+		return nil, stats, err
+	}
+
+	// Merge in file order, filtering rows with the exact Scan semantics.
+	var out []trajectory.Sample
+	for j := range surviving {
+		stats.Scan.BlocksScanned++
+		stats.Scan.RowsScanned += len(rows[j])
+		for _, s := range rows[j] {
+			if pred.MatchTrajectory(s) {
+				stats.Scan.RowsMatched++
+				out = append(out, s)
+			}
+		}
+	}
+	return out, stats, nil
+}
+
+// decodeMisses decodes the missing blocks (surviving[j] for j in misses)
+// into rows[j] using up to d.par workers, inserting each into the cache.
+func (d *Dataset) decodeMisses(surviving, misses []int, rows [][]trajectory.Sample) error {
+	workers := d.par
+	if workers > len(misses) {
+		workers = len(misses)
+	}
+	if workers <= 1 {
+		for _, j := range misses {
+			if err := d.decodeOne(surviving[j], j, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < len(misses); k += workers {
+				j := misses[k]
+				if err := d.decodeOne(surviving[j], j, rows); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) decodeOne(block, j int, rows [][]trajectory.Sample) error {
+	decoded, err := d.tr.DecodeBlock(block)
+	if err != nil {
+		return err
+	}
+	rows[j] = decoded
+	d.cache.Put(block, decoded)
+	return nil
+}
+
+// indexFor returns the spatio-temporal index over the samples matching pred,
+// from the index cache when the same predicate (and index options) was
+// served before.
+func (d *Dataset) indexFor(pred colstore.Predicate) (*query.TrajectoryIndex, Stats, error) {
+	key := predKey(pred, d.qopts)
+	if d.idx != nil {
+		if ix, ok := d.idx.get(key); ok {
+			return ix, Stats{Format: string(d.format), IndexCached: true}, nil
+		}
+	}
+	samples, stats, err := d.Samples(pred)
+	if err != nil {
+		return nil, stats, err
+	}
+	ix := query.NewTrajectoryIndex(samples, d.qopts)
+	if d.idx != nil {
+		// The index holds the samples in per-object series plus R-tree
+		// nodes and bucket structure over them; 3x the raw sample bytes is
+		// a conservative footprint estimate for the byte bound.
+		d.idx.put(key, ix, 3*samplesBytes(samples))
+	}
+	return ix, stats, nil
+}
+
+// predKey canonicalizes a predicate + index options into a cache key.
+// Identical keys imply identical matched samples and hence identical
+// indexes, so index-cache hits cannot change any answer.
+func predKey(p colstore.Predicate, o query.Options) string {
+	return fmt.Sprintf("t:%v,%g,%g|f:%v,%d|b:%v,%g,%g,%g,%g|o:%v,%d|q:%g,%g",
+		p.HasTime, p.T0, p.T1, p.HasFloor, p.Floor,
+		p.HasBox, p.Box.Min.X, p.Box.Min.Y, p.Box.Max.X, p.Box.Max.Y,
+		p.HasObj, p.Obj, o.BucketWidth, o.MaxGap)
+}
+
+// Range answers a range query: the samples inside the box/floor/window and
+// the distinct objects among them.
+func (d *Dataset) Range(q RangeRequest) (*RangeResponse, error) {
+	pred := colstore.Predicate{HasTime: true, T0: q.T0, T1: q.T1, HasBox: true, Box: q.Box}
+	if q.Floor >= 0 {
+		pred.HasFloor, pred.Floor = true, q.Floor
+	}
+	ix, stats, err := d.indexFor(pred)
+	if err != nil {
+		return nil, err
+	}
+	hits := ix.Range(q.Floor, q.Box, q.T0, q.T1)
+	seen := make(map[int]bool)
+	for _, s := range hits {
+		seen[s.ObjID] = true
+	}
+	objs := make([]int, 0, len(seen))
+	for id := range seen {
+		objs = append(objs, id)
+	}
+	sort.Ints(objs)
+	return &RangeResponse{Query: q, Hits: hits, Objects: objs, Stats: stats}, nil
+}
+
+// KNN answers a k-nearest-neighbors query at an instant. Like the CLI, it
+// loads only the samples within MaxGap of T so interpolation still sees its
+// bracketing samples, and leaves floor filtering to the operator.
+func (d *Dataset) KNN(q KNNRequest) (*KNNResponse, error) {
+	opts := d.queryOptions()
+	ix, stats, err := d.indexFor(colstore.TimeWindow(q.T-opts.MaxGap, q.T+opts.MaxGap))
+	if err != nil {
+		return nil, err
+	}
+	return &KNNResponse{Query: q, Neighbors: ix.KNN(q.Floor, q.At, q.T, q.K), Stats: stats}, nil
+}
+
+// Density answers a per-partition snapshot density query at an instant.
+func (d *Dataset) Density(q DensityRequest) (*DensityResponse, error) {
+	opts := d.queryOptions()
+	ix, stats, err := d.indexFor(colstore.TimeWindow(q.T-opts.MaxGap, q.T+opts.MaxGap))
+	if err != nil {
+		return nil, err
+	}
+	return &DensityResponse{Query: q, Counts: ix.Density(q.T), Stats: stats}, nil
+}
+
+// Traj answers a trajectory-retrieval query for one object.
+func (d *Dataset) Traj(q TrajRequest) (*TrajResponse, error) {
+	ix, stats, err := d.indexFor(colstore.Predicate{
+		HasObj: true, Obj: q.Obj,
+		HasTime: true, T0: q.T0, T1: q.T1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TrajResponse{Query: q, Samples: ix.ObjectTrajectory(q.Obj, q.T0, q.T1), Stats: stats}, nil
+}
+
+// Info summarizes the dataset.
+func (d *Dataset) Info() (*InfoResponse, error) {
+	ix, stats, err := d.indexFor(colstore.Predicate{})
+	if err != nil {
+		return nil, err
+	}
+	t0, t1, ok := ix.TimeSpan()
+	resp := &InfoResponse{
+		Samples: ix.Len(),
+		Objects: len(ix.Objects()),
+		Floors:  ix.Floors(),
+		T0:      t0,
+		T1:      t1,
+		Empty:   !ok,
+		Stats:   stats,
+	}
+	return resp, nil
+}
+
+// queryOptions returns the effective index options with defaults applied,
+// so MaxGap-derived predicates match what the index itself will use.
+func (d *Dataset) queryOptions() query.Options {
+	o := d.qopts
+	if o.BucketWidth <= 0 {
+		o.BucketWidth = query.DefaultOptions().BucketWidth
+	}
+	if o.MaxGap <= 0 {
+		o.MaxGap = query.DefaultOptions().MaxGap
+	}
+	return o
+}
+
+// indexCache is a small LRU of built spatio-temporal indexes keyed by
+// canonical predicate, bounded both by entry count and by approximate
+// resident bytes — a wide predicate (empty, or a full-window range) builds
+// an index over a copy of the whole dataset, so a count bound alone would
+// leave daemon memory unbounded. One warm entry turns a repeated query into
+// pure index lookup — no block reads at all.
+type indexCache struct {
+	mu       sync.Mutex
+	max      int
+	maxBytes int64 // <= 0: no byte bound
+	bytes    int64
+	order    []string // front = most recently used
+	entries  map[string]indexEntry
+}
+
+type indexEntry struct {
+	ix    *query.TrajectoryIndex
+	bytes int64
+}
+
+func newIndexCache(max int, maxBytes int64) *indexCache {
+	return &indexCache{max: max, maxBytes: maxBytes, entries: make(map[string]indexEntry)}
+}
+
+func (c *indexCache) get(key string) (*query.TrajectoryIndex, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.touch(key)
+	}
+	return e.ix, ok
+}
+
+// put inserts an index whose resident footprint is approximately bytes,
+// evicting LRU entries until both bounds hold. An index larger than the
+// whole byte budget is not cached at all.
+func (c *indexCache) put(key string, ix *query.TrajectoryIndex, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxBytes > 0 && bytes > c.maxBytes {
+		return
+	}
+	if old, ok := c.entries[key]; ok {
+		c.bytes -= old.bytes
+		c.touch(key)
+	} else {
+		c.order = append([]string{key}, c.order...)
+	}
+	c.entries[key] = indexEntry{ix: ix, bytes: bytes}
+	c.bytes += bytes
+	for len(c.order) > c.max || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		last := c.order[len(c.order)-1]
+		c.order = c.order[:len(c.order)-1]
+		c.bytes -= c.entries[last].bytes
+		delete(c.entries, last)
+	}
+}
+
+// touch moves key to the front of the recency order. Callers hold mu.
+func (c *indexCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[1:i+1], c.order[:i])
+			c.order[0] = key
+			return
+		}
+	}
+}
+
+func (c *indexCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,465 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"vita/internal/colstore"
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/storage"
+	"vita/internal/trajectory"
+)
+
+// testSamples builds a deterministic dataset: objects wander across two
+// floors and several partitions over 600 seconds, one sample per second, in
+// global time order like generator output.
+func testSamples() []trajectory.Sample {
+	var out []trajectory.Sample
+	parts := []string{"lobby", "office-a", "office-b", "corridor"}
+	for t := 0; t < 600; t++ {
+		for o := 0; o < 8; o++ {
+			x := float64((t*7+o*13)%40) + float64(o)/8
+			y := float64((t*3+o*5)%20) + float64(t%2)/4
+			out = append(out, trajectory.Sample{
+				ObjID: o,
+				Loc: model.At("office", (o+t/300)%2, parts[(o+t/60)%len(parts)],
+					geom.Pt(x, y)),
+				T: float64(t),
+			})
+		}
+	}
+	return out
+}
+
+// writeDataset persists samples into dir as trajectory.vtb or trajectory.csv.
+func writeDataset(t *testing.T, dir string, format storage.Format, samples []trajectory.Sample) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if format == storage.FormatVTB {
+		w := colstore.NewTrajectoryWriterOptions(&buf, colstore.Options{BlockSize: 512})
+		for _, s := range samples {
+			if err := w.Write(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := storage.WriteTrajectoryCSV(&buf, samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name := "trajectory" + format.Ext()
+	if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func openTestDataset(t *testing.T, format storage.Format, cfg Config) *Dataset {
+	t.Helper()
+	dir := t.TempDir()
+	writeDataset(t, dir, format, testSamples())
+	ds, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	return ds
+}
+
+func TestDatasetSamplesMatchesScan(t *testing.T) {
+	samples := testSamples()
+	for _, format := range []storage.Format{storage.FormatVTB, storage.FormatCSV} {
+		ds := openTestDataset(t, format, Config{})
+		preds := []colstore.Predicate{
+			{},
+			colstore.TimeWindow(100, 160),
+			{HasObj: true, Obj: 3, HasTime: true, T0: 50, T1: 400},
+			{HasFloor: true, Floor: 1, HasBox: true,
+				Box: geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(20, 10)}},
+		}
+		for pi, pred := range preds {
+			var want []trajectory.Sample
+			for _, s := range samples {
+				if pred.MatchTrajectory(s) {
+					want = append(want, s)
+				}
+			}
+			// Run twice: the second pass must serve VTB blocks from cache and
+			// still produce identical rows.
+			for pass := 0; pass < 2; pass++ {
+				got, stats, err := ds.Samples(pred)
+				if err != nil {
+					t.Fatalf("%s pred %d pass %d: %v", format, pi, pass, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s pred %d pass %d: %d rows, want %d", format, pi, pass, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] && format == storage.FormatVTB {
+						t.Fatalf("%s pred %d pass %d: row %d differs", format, pi, pass, i)
+					}
+				}
+				if format == storage.FormatVTB && pass == 1 && stats.CacheMisses != 0 {
+					t.Errorf("pred %d second pass missed cache %d times", pi, stats.CacheMisses)
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetParallelismEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, storage.FormatVTB, testSamples())
+	pred := colstore.TimeWindow(50, 450)
+	var want []trajectory.Sample
+	for _, p := range []int{1, 2, 8} {
+		ds, err := Open(dir, Config{Parallelism: p, CacheBytes: -1, IndexEntries: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := ds.Samples(pred)
+		ds.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == 1 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: %d rows, want %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: row %d differs", p, i)
+			}
+		}
+	}
+}
+
+// TestServerParity is the core serving guarantee: for every operator, the
+// response obtained over HTTP renders byte-identically to the one computed
+// locally — on both storage formats.
+func TestServerParity(t *testing.T) {
+	for _, format := range []storage.Format{storage.FormatVTB, storage.FormatCSV} {
+		ds := openTestDataset(t, format, Config{})
+		ts := httptest.NewServer(NewServer(ds).Handler())
+		t.Cleanup(ts.Close)
+		c := &Client{Base: ts.URL}
+
+		box := geom.BBox{Min: geom.Pt(1.5, 0.25), Max: geom.Pt(17.75, 9.5)}
+		{
+			q := RangeRequest{Floor: 0, Box: box, T0: 33.5, T1: 147.25}
+			local, err := ds.Range(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote, err := c.Range(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(local.Hits) == 0 {
+				t.Fatalf("%s: range query matched nothing", format)
+			}
+			compareText(t, string(format)+"/range", local, remote)
+		}
+		{
+			q := KNNRequest{Floor: 1, At: geom.Pt(10.125, 7.625), T: 420.5, K: 4}
+			local, err := ds.KNN(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote, err := c.KNN(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(local.Neighbors) == 0 {
+				t.Fatalf("%s: knn query matched nothing", format)
+			}
+			compareText(t, string(format)+"/knn", local, remote)
+		}
+		{
+			q := DensityRequest{T: 250}
+			local, err := ds.Density(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote, err := c.Density(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(local.Counts) == 0 {
+				t.Fatalf("%s: density query matched nothing", format)
+			}
+			compareText(t, string(format)+"/density", local, remote)
+		}
+		{
+			q := TrajRequest{Obj: 5, T0: 100, T1: 500}
+			local, err := ds.Traj(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote, err := c.Traj(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(local.Samples) == 0 {
+				t.Fatalf("%s: traj query matched nothing", format)
+			}
+			compareText(t, string(format)+"/traj", local, remote)
+		}
+		{
+			local, err := ds.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote, err := c.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareText(t, string(format)+"/info", local, remote)
+		}
+	}
+}
+
+func compareText(t *testing.T, name string, local, remote interface {
+	WriteText(w io.Writer) error
+}) {
+	t.Helper()
+	var lb, rb bytes.Buffer
+	if err := local.WriteText(&lb); err != nil {
+		t.Fatalf("%s local render: %v", name, err)
+	}
+	if err := remote.WriteText(&rb); err != nil {
+		t.Fatalf("%s remote render: %v", name, err)
+	}
+	if !bytes.Equal(lb.Bytes(), rb.Bytes()) {
+		t.Errorf("%s output differs:\nlocal:\n%s\nremote:\n%s", name, lb.String(), rb.String())
+	}
+}
+
+func TestServerStatsAndHealth(t *testing.T) {
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	srv := NewServer(ds)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{Base: ts.URL}
+
+	if !c.Healthy() {
+		t.Fatal("healthz failed")
+	}
+	q := RangeRequest{Floor: -1, Box: geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(40, 20)}, T0: 0, T1: 100}
+	first, err := c.Range(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.IndexCached {
+		t.Error("first request claims a cached index")
+	}
+	if first.Stats.CacheMisses == 0 || first.Stats.Scan.BlocksScanned == 0 {
+		t.Errorf("first request shows no block work: %+v", first.Stats)
+	}
+	if first.Stats.Scan.BlocksPruned == 0 {
+		t.Errorf("windowed request pruned nothing: %+v", first.Stats)
+	}
+	second, err := c.Range(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Stats.IndexCached {
+		t.Errorf("repeat request did not hit the index cache: %+v", second.Stats)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests["range"] != 2 {
+		t.Errorf("statsz range count = %d, want 2", st.Requests["range"])
+	}
+	if st.IndexHits != 1 {
+		t.Errorf("statsz index hits = %d, want 1", st.IndexHits)
+	}
+	if st.Format != "vtb" || st.Samples != ds.Len() || st.Blocks == 0 {
+		t.Errorf("statsz dataset identity wrong: %+v", st)
+	}
+	if st.Cache.Misses == 0 {
+		t.Errorf("statsz cache counters empty: %+v", st.Cache)
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	ts := httptest.NewServer(NewServer(ds).Handler())
+	t.Cleanup(ts.Close)
+
+	for _, path := range []string{
+		"/v1/range?box=1,2,3",        // malformed box
+		"/v1/range?box=a,b,c,d",      // non-numeric box
+		"/v1/knn?at=5",               // malformed point
+		"/v1/knn?at=1,2&k=x",         // non-numeric k
+		"/v1/density?t=zzz",          // non-numeric instant
+		"/v1/traj?obj=nope",          // non-numeric object
+		"/v1/range?box=0,0,1,1&t0=x", // non-numeric window
+	} {
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(res.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: decoding error body: %v", path, err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusBadRequest || e.Error == "" {
+			t.Errorf("%s: status %d, error %q; want 400 with message", path, res.StatusCode, e.Error)
+		}
+	}
+}
+
+// TestServerGracefulShutdown drives Shutdown while a slow request is in
+// flight: the request must complete successfully and Serve must return nil.
+func TestServerGracefulShutdown(t *testing.T) {
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	srv := NewServer(ds)
+	srv.testDelay = 300 * time.Millisecond
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	c := &Client{Base: "http://" + l.Addr().String()}
+	waitHealthy(t, c)
+
+	var wg sync.WaitGroup
+	var reqErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, reqErr = c.Info()
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow request reach the handler
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	if reqErr != nil {
+		t.Errorf("in-flight request failed during drain: %v", reqErr)
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("Serve returned %v after clean shutdown", err)
+	}
+	// The listener is closed: new connections must fail.
+	if c.Healthy() {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+// TestRunUntilSignal sends this process a real SIGTERM while a request is in
+// flight and checks the daemon loop drains and exits cleanly.
+func TestRunUntilSignal(t *testing.T) {
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	srv := NewServer(ds)
+	srv.testDelay = 300 * time.Millisecond
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- srv.RunUntilSignal(context.Background(), l, 5*time.Second, syscall.SIGTERM)
+	}()
+
+	c := &Client{Base: "http://" + l.Addr().String()}
+	waitHealthy(t, c)
+
+	var wg sync.WaitGroup
+	var reqErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, reqErr = c.Info()
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("RunUntilSignal: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunUntilSignal did not return after SIGTERM")
+	}
+	wg.Wait()
+	if reqErr != nil {
+		t.Errorf("in-flight request failed during signal drain: %v", reqErr)
+	}
+}
+
+func waitHealthy(t *testing.T, c *Client) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Healthy() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	boxes := []geom.BBox{
+		{Min: geom.Pt(0, 0), Max: geom.Pt(20, 15)},
+		{Min: geom.Pt(-3.25, 0.1), Max: geom.Pt(1e18, 0.30000000000000004)},
+	}
+	for _, b := range boxes {
+		got, err := ParseBox(FormatBox(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != b {
+			t.Errorf("box round trip: got %+v, want %+v", got, b)
+		}
+	}
+	p := geom.Pt(10.7, 7.500000000000001)
+	got, err := ParsePoint(FormatPoint(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("point round trip: got %+v, want %+v", got, p)
+	}
+	if _, err := ParseBox("1,2,3"); err == nil {
+		t.Error("short box parsed")
+	}
+	if _, err := ParsePoint("x,y"); err == nil {
+		t.Error("non-numeric point parsed")
+	}
+}

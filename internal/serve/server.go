@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"vita/internal/geom"
+)
+
+// Server exposes a Dataset's query operators over HTTP with JSON responses:
+//
+//	GET /v1/range?floor=0&box=0,0,20,15&t0=0&t1=120
+//	GET /v1/knn?floor=0&at=10,7.5&t=60&k=5
+//	GET /v1/density?t=60
+//	GET /v1/traj?obj=3&t0=0&t1=300
+//	GET /v1/info
+//	GET /healthz
+//	GET /statsz
+//
+// Every operator response embeds its per-request Stats (blocks
+// pruned/decoded, cache hits/misses); /statsz aggregates them across the
+// server's lifetime. Errors come back as {"error": "..."} with a 4xx/5xx
+// status.
+type Server struct {
+	ds    *Dataset
+	mux   *http.ServeMux
+	httpS *http.Server
+	start time.Time
+
+	requests  [opCount]atomic.Int64
+	errors    atomic.Int64
+	inFlight  atomic.Int64
+	pruned    atomic.Int64
+	decoded   atomic.Int64
+	idxHits   atomic.Int64
+	testDelay time.Duration // test hook: stall every operator request
+}
+
+// Operator slots for the per-operator request counters.
+const (
+	opRange = iota
+	opKNN
+	opDensity
+	opTraj
+	opInfo
+	opCount
+)
+
+var opNames = [opCount]string{"range", "knn", "density", "traj", "info"}
+
+// NewServer wraps an opened dataset in an HTTP query server.
+func NewServer(ds *Dataset) *Server {
+	s := &Server{ds: ds, mux: http.NewServeMux(), start: time.Now()}
+	s.httpS = &http.Server{Handler: s.mux}
+	s.mux.HandleFunc("GET /v1/range", s.handleRange)
+	s.mux.HandleFunc("GET /v1/knn", s.handleKNN)
+	s.mux.HandleFunc("GET /v1/density", s.handleDensity)
+	s.mux.HandleFunc("GET /v1/traj", s.handleTraj)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the server's HTTP handler (useful with httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns nil after a
+// clean shutdown. Serve may be called at most once per Server.
+func (s *Server) Serve(l net.Listener) error {
+	if err := s.httpS.Serve(l); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Shutdown stops accepting new connections and waits — up to the context's
+// deadline — for in-flight requests to drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpS.Shutdown(ctx)
+}
+
+// RunUntilSignal serves on l until one of sigs arrives (or ctx is
+// cancelled), then drains in-flight requests for up to drainTimeout before
+// returning. A clean drain returns nil.
+func (s *Server) RunUntilSignal(ctx context.Context, l net.Listener, drainTimeout time.Duration, sigs ...os.Signal) error {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, sigs...)
+	defer signal.Stop(sigCh)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(l) }()
+
+	select {
+	case err := <-errCh:
+		return err // listener failed before any signal
+	case <-sigCh:
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	return <-errCh
+}
+
+// track wraps one operator request: counts it, applies the test delay, and
+// folds the per-request stats into the lifetime aggregates.
+func (s *Server) track(op int, stats *Stats) {
+	s.requests[op].Add(1)
+	if s.testDelay > 0 {
+		time.Sleep(s.testDelay)
+	}
+	if stats != nil {
+		s.pruned.Add(int64(stats.Scan.BlocksPruned))
+		// Scan.BlocksScanned counts every surviving block, cache-served or
+		// not; only the misses actually decoded anything.
+		s.decoded.Add(int64(stats.CacheMisses))
+		if stats.IndexCached {
+			s.idxHits.Add(1)
+		}
+	}
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	q := RangeRequest{Floor: -1}
+	var err error
+	if v := r.URL.Query().Get("floor"); v != "" {
+		if q.Floor, err = strconv.Atoi(v); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad floor %q", v))
+			return
+		}
+	}
+	if q.Box, err = ParseBox(r.URL.Query().Get("box")); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.T0, q.T1, err = parseWindow(r, 0, 0); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.ds.Range(q)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.track(opRange, &resp.Stats)
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	q := KNNRequest{Floor: 0, K: 5}
+	var err error
+	if v := r.URL.Query().Get("floor"); v != "" {
+		if q.Floor, err = strconv.Atoi(v); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad floor %q", v))
+			return
+		}
+	}
+	if q.At, err = ParsePoint(r.URL.Query().Get("at")); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.T, err = parseFloatParam(r, "t", 0); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if v := r.URL.Query().Get("k"); v != "" {
+		if q.K, err = strconv.Atoi(v); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad k %q", v))
+			return
+		}
+	}
+	resp, err := s.ds.KNN(q)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.track(opKNN, &resp.Stats)
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	t, err := parseFloatParam(r, "t", 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.ds.Density(DensityRequest{T: t})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.track(opDensity, &resp.Stats)
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleTraj(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	q := TrajRequest{}
+	var err error
+	if v := r.URL.Query().Get("obj"); v != "" {
+		if q.Obj, err = strconv.Atoi(v); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad obj %q", v))
+			return
+		}
+	}
+	if q.T0, q.T1, err = parseWindow(r, 0, 1e18); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.ds.Traj(q)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.track(opTraj, &resp.Stats)
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	resp, err := s.ds.Info()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.track(opInfo, &resp.Stats)
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// ServerStats is the /statsz payload: lifetime request counters, cache
+// effectiveness, and dataset identity.
+type ServerStats struct {
+	Dataset       string           `json:"dataset"`
+	Format        string           `json:"format"`
+	Samples       int              `json:"samples"`
+	Blocks        int              `json:"blocks"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	InFlight      int64            `json:"in_flight"`
+	Requests      map[string]int64 `json:"requests"`
+	Errors        int64            `json:"errors"`
+	BlocksPruned  int64            `json:"blocks_pruned"`
+	BlocksDecoded int64            `json:"blocks_decoded"`
+	IndexHits     int64            `json:"index_hits"`
+	IndexEntries  int              `json:"index_entries"`
+	Cache         CacheStats       `json:"cache"`
+}
+
+// Stats returns a snapshot of the server's lifetime counters.
+func (s *Server) Stats() ServerStats {
+	reqs := make(map[string]int64, opCount)
+	for op, name := range opNames {
+		reqs[name] = s.requests[op].Load()
+	}
+	st := ServerStats{
+		Dataset:       s.ds.Path(),
+		Format:        string(s.ds.Format()),
+		Samples:       s.ds.Len(),
+		Blocks:        s.ds.Blocks(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      s.inFlight.Load(),
+		Requests:      reqs,
+		Errors:        s.errors.Load(),
+		BlocksPruned:  s.pruned.Load(),
+		BlocksDecoded: s.decoded.Load(),
+		IndexHits:     s.idxHits.Load(),
+		Cache:         s.ds.CacheStats(),
+	}
+	if s.ds.idx != nil {
+		st.IndexEntries = s.ds.idx.len()
+	}
+	return st
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, s.Stats())
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		s.errors.Add(1)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func parseFloatParam(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return f, nil
+}
+
+func parseWindow(r *http.Request, defT0, defT1 float64) (t0, t1 float64, err error) {
+	if t0, err = parseFloatParam(r, "t0", defT0); err != nil {
+		return
+	}
+	t1, err = parseFloatParam(r, "t1", defT1)
+	return
+}
+
+// ParseBox parses "x0,y0,x1,y1" — the wire and CLI encoding of a query box.
+func ParseBox(s string) (geom.BBox, error) {
+	var v [4]float64
+	if err := parseFloats(s, v[:]); err != nil {
+		return geom.BBox{}, fmt.Errorf("bad box %q, want x0,y0,x1,y1", s)
+	}
+	return geom.BBox{Min: geom.Pt(v[0], v[1]), Max: geom.Pt(v[2], v[3])}, nil
+}
+
+// FormatBox renders a box in the ParseBox encoding with full float64
+// round-trip precision.
+func FormatBox(b geom.BBox) string {
+	return formatFloats(b.Min.X, b.Min.Y, b.Max.X, b.Max.Y)
+}
+
+// ParsePoint parses "x,y" — the wire and CLI encoding of a query point.
+func ParsePoint(s string) (geom.Point, error) {
+	var v [2]float64
+	if err := parseFloats(s, v[:]); err != nil {
+		return geom.Point{}, fmt.Errorf("bad point %q, want x,y", s)
+	}
+	return geom.Pt(v[0], v[1]), nil
+}
+
+// FormatPoint renders a point in the ParsePoint encoding with full float64
+// round-trip precision.
+func FormatPoint(p geom.Point) string {
+	return formatFloats(p.X, p.Y)
+}
+
+func parseFloats(s string, out []float64) error {
+	parts := strings.Split(s, ",")
+	if len(parts) != len(out) {
+		return fmt.Errorf("want %d comma-separated numbers", len(out))
+	}
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return fmt.Errorf("bad number %q", p)
+		}
+		out[i] = f
+	}
+	return nil
+}
+
+func formatFloats(vs ...float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"vita/internal/colstore"
+	"vita/internal/geom"
+	"vita/internal/query"
+	"vita/internal/trajectory"
+)
+
+// Request/response types for the four query operators plus info. They are
+// the single source of truth for three surfaces at once: Dataset methods
+// (local execution), the HTTP JSON API (vitaserve), and Client (vitaquery
+// -server). The WriteText formatters render exactly what vitaquery has
+// always printed, so local and served output are byte-identical by
+// construction — all three paths marshal through the same structs and the
+// same format strings, and float64 values survive the JSON round trip
+// exactly (encoding/json emits shortest round-trip representations).
+
+// Stats describes how much work one request cost: the underlying scan
+// (blocks pruned/decoded, rows), block-cache effectiveness, and whether the
+// built index itself came from cache (in which case no blocks were touched
+// at all).
+type Stats struct {
+	// Format is the dataset's storage format ("vtb" or "csv").
+	Format string `json:"format"`
+	// Scan reports zone-map pruning and row counts. On a CSV dataset only
+	// the row counters are meaningful.
+	Scan colstore.ScanStats `json:"scan"`
+	// CacheHits and CacheMisses count decoded-block cache lookups for this
+	// request (VTB only; misses equal blocks decoded).
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// IndexCached reports that the request was answered from a cached
+	// spatio-temporal index without touching blocks.
+	IndexCached bool `json:"index_cached"`
+}
+
+// RangeRequest asks for every sample inside box on floor during [T0, T1].
+// Floor -1 searches all floors.
+type RangeRequest struct {
+	Floor int       `json:"floor"`
+	Box   geom.BBox `json:"box"`
+	T0    float64   `json:"t0"`
+	T1    float64   `json:"t1"`
+}
+
+// RangeResponse carries the matching samples ordered by (object, time).
+type RangeResponse struct {
+	Query   RangeRequest        `json:"query"`
+	Hits    []trajectory.Sample `json:"hits"`
+	Objects []int               `json:"objects"`
+	Stats   Stats               `json:"stats"`
+}
+
+// WriteText renders the response exactly as `vitaquery range` prints it.
+func (r *RangeResponse) WriteText(w io.Writer) error {
+	for _, s := range r.Hits {
+		if _, err := fmt.Fprintf(w, "obj %-4d t %8.2f  %s\n", s.ObjID, s.T, s.Loc); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d samples, %d distinct objects in %v × [%g, %g]\n",
+		len(r.Hits), len(r.Objects), r.Query.Box, r.Query.T0, r.Query.T1)
+	return err
+}
+
+// KNNRequest asks for the K objects on Floor nearest to At at instant T.
+type KNNRequest struct {
+	Floor int        `json:"floor"`
+	At    geom.Point `json:"at"`
+	T     float64    `json:"t"`
+	K     int        `json:"k"`
+}
+
+// KNNResponse carries the neighbors, nearest first.
+type KNNResponse struct {
+	Query     KNNRequest       `json:"query"`
+	Neighbors []query.Neighbor `json:"neighbors"`
+	Stats     Stats            `json:"stats"`
+}
+
+// WriteText renders the response exactly as `vitaquery knn` prints it.
+func (r *KNNResponse) WriteText(w io.Writer) error {
+	for i, n := range r.Neighbors {
+		if _, err := fmt.Fprintf(w, "#%d  obj %-4d dist %6.2fm  %s\n", i+1, n.ObjID, n.Dist, n.Loc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DensityRequest asks for the per-partition object counts at instant T.
+type DensityRequest struct {
+	T float64 `json:"t"`
+}
+
+// DensityResponse carries the snapshot density per partition.
+type DensityResponse struct {
+	Query  DensityRequest `json:"query"`
+	Counts map[string]int `json:"counts"`
+	Stats  Stats          `json:"stats"`
+}
+
+// WriteText renders the response exactly as `vitaquery density` prints it:
+// partitions by descending count (name-ascending ties), then a summary.
+func (r *DensityResponse) WriteText(w io.Writer) error {
+	parts := make([]string, 0, len(r.Counts))
+	for p := range r.Counts {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		if r.Counts[parts[i]] != r.Counts[parts[j]] {
+			return r.Counts[parts[i]] > r.Counts[parts[j]]
+		}
+		return parts[i] < parts[j]
+	})
+	total := 0
+	for _, p := range parts {
+		if _, err := fmt.Fprintf(w, "%-16s %d\n", p, r.Counts[p]); err != nil {
+			return err
+		}
+		total += r.Counts[p]
+	}
+	_, err := fmt.Fprintf(w, "%d objects in %d partitions at t=%g\n", total, len(parts), r.Query.T)
+	return err
+}
+
+// TrajRequest asks for object Obj's samples during [T0, T1].
+type TrajRequest struct {
+	Obj int     `json:"obj"`
+	T0  float64 `json:"t0"`
+	T1  float64 `json:"t1"`
+}
+
+// TrajResponse carries the object's samples in time order.
+type TrajResponse struct {
+	Query   TrajRequest         `json:"query"`
+	Samples []trajectory.Sample `json:"samples"`
+	Stats   Stats               `json:"stats"`
+}
+
+// WriteText renders the response exactly as `vitaquery traj` prints it.
+func (r *TrajResponse) WriteText(w io.Writer) error {
+	for _, s := range r.Samples {
+		if _, err := fmt.Fprintf(w, "t %8.2f  %s\n", s.T, s.Loc); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d samples for object %d\n", len(r.Samples), r.Query.Obj)
+	return err
+}
+
+// InfoResponse summarizes the dataset.
+type InfoResponse struct {
+	Samples int     `json:"samples"`
+	Objects int     `json:"objects"`
+	Floors  []int   `json:"floors"`
+	T0      float64 `json:"t0"`
+	T1      float64 `json:"t1"`
+	// Empty reports a dataset with no samples (T0/T1 then meaningless).
+	Empty bool  `json:"empty"`
+	Stats Stats `json:"stats"`
+}
+
+// WriteText renders the response exactly as `vitaquery info` prints it.
+func (r *InfoResponse) WriteText(w io.Writer) error {
+	if r.Empty {
+		_, err := fmt.Fprintln(w, "empty dataset")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "samples   %d\n", r.Samples); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "objects   %d\n", r.Objects); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "floors    %v\n", r.Floors); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "time span [%g, %g] s\n", r.T0, r.T1)
+	return err
+}

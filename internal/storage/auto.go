@@ -58,6 +58,14 @@ func DetectFormat(path string) (Format, error) {
 // parse with row filtering (stats then report zero blocks). The detected
 // format is returned alongside the scan stats.
 func ScanTrajectoryFile(path string, pred colstore.Predicate, emit func(trajectory.Sample)) (colstore.ScanStats, Format, error) {
+	return ScanTrajectoryFileParallel(path, pred, 1, emit)
+}
+
+// ScanTrajectoryFileParallel is ScanTrajectoryFile with block decode spread
+// over a worker pool for VTB files (parallelism 0 = GOMAXPROCS, 1 =
+// sequential). Emitted rows and their order are identical at every
+// parallelism level; CSV files always parse sequentially.
+func ScanTrajectoryFileParallel(path string, pred colstore.Predicate, parallelism int, emit func(trajectory.Sample)) (colstore.ScanStats, Format, error) {
 	format, err := DetectFormat(path)
 	if err != nil {
 		return colstore.ScanStats{}, "", err
@@ -68,7 +76,7 @@ func ScanTrajectoryFile(path string, pred colstore.Predicate, emit func(trajecto
 			return colstore.ScanStats{}, format, err
 		}
 		defer r.Close()
-		stats, err := r.Scan(pred, emit)
+		stats, err := r.ScanParallel(pred, parallelism, emit)
 		return stats, format, err
 	}
 	f, err := os.Open(path)
@@ -79,7 +87,7 @@ func ScanTrajectoryFile(path string, pred colstore.Predicate, emit func(trajecto
 	var stats colstore.ScanStats
 	err = ScanTrajectoryCSV(f, func(s trajectory.Sample) {
 		stats.RowsScanned++
-		if matchTrajectory(pred, s) {
+		if pred.MatchTrajectory(s) {
 			stats.RowsMatched++
 			emit(s)
 		}
@@ -121,7 +129,7 @@ func ScanRSSIFile(path string, pred colstore.Predicate, emit func(rssi.Measureme
 	var stats colstore.ScanStats
 	err = ScanRSSICSV(f, func(m rssi.Measurement) {
 		stats.RowsScanned++
-		if matchRSSI(pred, m) {
+		if pred.MatchRSSI(m) {
 			stats.RowsMatched++
 			emit(m)
 		}
@@ -136,34 +144,4 @@ func ReadRSSIFile(path string) ([]rssi.Measurement, Format, error) {
 		out = append(out, m)
 	})
 	return out, format, err
-}
-
-// matchTrajectory mirrors the row semantics of colstore's trajectory Scan
-// for the CSV fallback path.
-func matchTrajectory(p colstore.Predicate, s trajectory.Sample) bool {
-	if p.HasTime && (s.T < p.T0 || s.T > p.T1) {
-		return false
-	}
-	if p.HasObj && s.ObjID != p.Obj {
-		return false
-	}
-	if p.HasFloor && s.Loc.Floor != p.Floor {
-		return false
-	}
-	if p.HasBox && (!s.Loc.HasPoint || !p.Box.Contains(s.Loc.Point)) {
-		return false
-	}
-	return true
-}
-
-// matchRSSI mirrors the row semantics of colstore's RSSI Scan (floor/box
-// constraints do not apply).
-func matchRSSI(p colstore.Predicate, m rssi.Measurement) bool {
-	if p.HasTime && (m.T < p.T0 || m.T > p.T1) {
-		return false
-	}
-	if p.HasObj && m.ObjID != p.Obj {
-		return false
-	}
-	return true
 }

@@ -38,6 +38,7 @@ import (
 	"vita/internal/ifc"
 	"vita/internal/positioning"
 	"vita/internal/query"
+	"vita/internal/serve"
 	"vita/internal/storage"
 	"vita/internal/trajectory"
 )
@@ -201,6 +202,14 @@ func ScanTrajectoryFile(path string, pred ScanPredicate, emit func(Sample)) (Sca
 	return storage.ScanTrajectoryFile(path, pred, emit)
 }
 
+// ScanTrajectoryFileParallel is ScanTrajectoryFile with block decode spread
+// over a worker pool for VTB files (parallelism 0 = GOMAXPROCS, 1 =
+// sequential). Emitted rows and their order are identical at every
+// parallelism level.
+func ScanTrajectoryFileParallel(path string, pred ScanPredicate, parallelism int, emit func(Sample)) (ScanStats, StorageFormat, error) {
+	return storage.ScanTrajectoryFileParallel(path, pred, parallelism, emit)
+}
+
 // WriteTrajectoryVTB persists samples in the VTB columnar format —
 // lossless, block-compressed, and zone-map indexed for pruned scans.
 func WriteTrajectoryVTB(w io.Writer, samples []Sample) error {
@@ -267,3 +276,49 @@ func NewTrajectoryIndex(samples []Sample, opts QueryOptions) *TrajectoryIndex {
 // NewContinuousEngine returns an engine for standing range queries; feed it
 // samples as they stream in.
 func NewContinuousEngine() *ContinuousEngine { return query.NewContinuousEngine() }
+
+// --- query-serving daemon (internal/serve, cmd/vitaserve) ---
+
+// QueryDataset is an opened trajectory dataset ready to answer the query
+// operators repeatedly without cold-start: the VTB footer stays resident,
+// hot decoded blocks live in a size-bounded LRU cache, and block decode runs
+// on a worker pool. Safe for concurrent use.
+type QueryDataset = serve.Dataset
+
+// QueryServeConfig tunes an opened QueryDataset (index layout, decode
+// parallelism, cache budgets). The zero value selects the defaults.
+type QueryServeConfig = serve.Config
+
+// QueryServer exposes a QueryDataset's operators over HTTP with JSON
+// responses — the daemon behind cmd/vitaserve.
+type QueryServer = serve.Server
+
+// QueryClient executes the query operators against a running vitaserve
+// daemon, returning the same response types as local QueryDataset calls.
+type QueryClient = serve.Client
+
+// Per-operator request and response types shared by QueryDataset,
+// QueryServer and QueryClient. Each response renders the CLI text form via
+// WriteText.
+type (
+	RangeRequest    = serve.RangeRequest
+	RangeResponse   = serve.RangeResponse
+	KNNRequest      = serve.KNNRequest
+	KNNResponse     = serve.KNNResponse
+	DensityRequest  = serve.DensityRequest
+	DensityResponse = serve.DensityResponse
+	TrajRequest     = serve.TrajRequest
+	TrajResponse    = serve.TrajResponse
+	InfoResponse    = serve.InfoResponse
+)
+
+// OpenQueryDataset opens the trajectory data in dir (trajectory.vtb
+// preferred, trajectory.csv otherwise, detected by magic bytes) for
+// serving.
+func OpenQueryDataset(dir string, cfg QueryServeConfig) (*QueryDataset, error) {
+	return serve.Open(dir, cfg)
+}
+
+// NewQueryServer wraps an opened dataset in an HTTP query server; see
+// cmd/vitaserve for the endpoint catalogue.
+func NewQueryServer(ds *QueryDataset) *QueryServer { return serve.NewServer(ds) }
