@@ -670,3 +670,171 @@ func BenchmarkColdStartQuery(b *testing.B) {
 		}
 	})
 }
+
+// vtbBenchFile persists the shared benchmark dataset as a VTB file on disk
+// for the file-backed (mmap vs pread) benchmarks, returning the path and the
+// row count.
+func vtbBenchFile(b *testing.B, opts colstore.Options) (string, int) {
+	b.Helper()
+	samples := benchSamples(b)
+	path := filepath.Join(b.TempDir(), "trajectory.vtb")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := colstore.NewTrajectoryWriterOptions(f, opts)
+	for _, s := range samples {
+		if err := w.Write(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path, len(samples)
+}
+
+// BenchmarkVTBScanMmapVsReaderAt is the acceptance gate for the zero-copy
+// reader: a full scan of a memory-mapped file must not be slower than the
+// same scan through io.ReaderAt preads. The file is written uncompressed so
+// the comparison isolates the I/O path — raw-codec blocks decode straight
+// out of the mapped page-cache region with zero copies, while the pread path
+// must issue two syscalls and one payload copy per block. Both sides are
+// timed as the minimum over several runs (page cache warm for both), with a
+// 10% noise allowance on the gate.
+func BenchmarkVTBScanMmapVsReaderAt(b *testing.B) {
+	path, n := vtbBenchFile(b, colstore.Options{BlockSize: 1024, NoCompress: true})
+	mm, err := colstore.OpenTrajectory(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mm.Close()
+	pr, err := colstore.OpenTrajectoryOptions(path, colstore.OpenOptions{DisableMmap: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pr.Close()
+
+	scan := func(r *colstore.TrajectoryReader) time.Duration {
+		start := time.Now()
+		rows := 0
+		cur := r.Cursor(colstore.Predicate{})
+		for cur.Next() {
+			rows += cur.Batch().Len()
+		}
+		if err := cur.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if rows != n {
+			b.Fatalf("scanned %d rows, want %d", rows, n)
+		}
+		return time.Since(start)
+	}
+	minOver := func(r *colstore.TrajectoryReader, reps int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			if d := scan(r); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	scan(mm) // warm the page cache and decode pools
+	scan(pr)
+
+	for _, side := range []struct {
+		name string
+		r    *colstore.TrajectoryReader
+	}{{"mmap", mm}, {"readerat", pr}} {
+		b.Run(side.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scan(side.r)
+			}
+			b.ReportMetric(float64(n), "rows/op")
+		})
+	}
+
+	if !mm.Mmapped() {
+		return // platform without mmap: nothing to gate
+	}
+	mmD := minOver(mm, 9)
+	prD := minOver(pr, 9)
+	b.ReportMetric(float64(prD)/float64(mmD), "readerat/mmap")
+	if float64(mmD) > 1.1*float64(prD) {
+		b.Fatalf("mmap scan is slower than ReaderAt: mmap %v vs readerat %v", mmD, prD)
+	}
+}
+
+// BenchmarkVTBScanAllocs is the acceptance gate for the allocation-light
+// scan pipeline: after one warm-up pass (which fills the scratch pool and
+// the string-interning table), a full-file cursor scan must stay within a
+// fixed allocation budget. Before the batch/pooling rework a scan of this
+// file cost tens of thousands of allocations (one per decoded column slice,
+// dictionary string, and flate reader); the budget fails the build if
+// per-row or per-block-decode allocations ever creep back in.
+//
+// Two sub-benchmarks, two budgets: the raw (uncompressed) file proves the
+// cursor pipeline itself is allocation-free — a small constant independent
+// of rows and blocks — while the flate file additionally pays stdlib flate's
+// internal per-stream Huffman table allocations (a handful per block, not
+// poolable from outside the package), so its budget scales with block count
+// and nothing else.
+func BenchmarkVTBScanAllocs(b *testing.B) {
+	cases := []struct {
+		name   string
+		opts   colstore.Options
+		budget func(blocks int) float64
+	}{
+		// Constant budget: cursor struct + pool/GC slack. ~12k rows in ~12
+		// blocks, so anything O(rows) or O(blocks) blows through at once.
+		{"raw", colstore.Options{BlockSize: 1024, NoCompress: true},
+			func(int) float64 { return 16 }},
+		// Per-block budget: flate's dynamic-Huffman decode allocates its
+		// link tables per stream (~7 allocs/block); everything else must
+		// stay flat.
+		{"flate", colstore.Options{BlockSize: 1024},
+			func(blocks int) float64 { return 16 + 10*float64(blocks) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			path, n := vtbBenchFile(b, tc.opts)
+			r, err := colstore.OpenTrajectory(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			blocks := len(r.Blocks())
+			scanOnce := func() {
+				rows := 0
+				cur := r.Cursor(colstore.Predicate{})
+				for cur.Next() {
+					rows += cur.Batch().Len()
+				}
+				if err := cur.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if rows != n {
+					b.Fatalf("scanned %d rows, want %d", rows, n)
+				}
+			}
+			scanOnce() // steady state: pools filled, strings interned
+			allocs := testing.AllocsPerRun(5, scanOnce)
+			budget := tc.budget(blocks)
+			b.ReportMetric(allocs, "allocs/scan")
+			b.ReportMetric(allocs/float64(n), "allocs/row")
+			if allocs > budget {
+				b.Fatalf("steady-state scan costs %.0f allocs over %d blocks, budget %.0f",
+					allocs, blocks, budget)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scanOnce()
+			}
+		})
+	}
+}

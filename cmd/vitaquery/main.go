@@ -15,10 +15,14 @@
 // With a VTB file the query predicate is pushed into the load: each
 // subcommand derives the block predicate its operator allows (range prunes
 // by window+floor+box, traj by object+window, knn/density by the window
-// widened by -maxgap so interpolation still sees its bracketing samples),
-// the scan skips every block whose zone map rules it out, and surviving
-// blocks decode in parallel (-parallelism workers). A line on stderr reports
-// how many blocks were actually read.
+// widened by -maxgap so interpolation still sees its bracketing samples) and
+// the scan skips every block whose zone map rules it out. The file is
+// memory-mapped by default (-mmap=false falls back to plain reads) and the
+// surviving blocks stream through a column-batch cursor straight into the
+// query index, so peak memory beyond the index is one decoded block — the
+// stderr stats line reports how many blocks were read and the peak decoded
+// batch size. watch and other full materializing loads decode block-parallel
+// (-parallelism workers).
 //
 // With -server URL the same operators are sent to a running vitaserve
 // daemon instead of touching local files; execution and formatting go
@@ -69,6 +73,7 @@ func run() error {
 	bucket := flag.Float64("bucket", 60, "index time-bucket width in seconds (local mode)")
 	maxGap := flag.Float64("maxgap", 10, "max sample gap in seconds for instant queries (local mode)")
 	parallelism := flag.Int("parallelism", 0, "block-decode workers for local VTB loads (0 = GOMAXPROCS)")
+	useMmap := flag.Bool("mmap", true, "memory-map local VTB files (false = plain file reads)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		return fmt.Errorf("missing subcommand: range | knn | density | traj | watch | info")
@@ -86,6 +91,7 @@ func run() error {
 			// One-shot execution: nothing would ever hit a warm cache.
 			CacheBytes:   -1,
 			IndexEntries: -1,
+			DisableMmap:  !*useMmap,
 		})
 		if err != nil {
 			return err
@@ -116,14 +122,20 @@ func run() error {
 }
 
 // reportStats mirrors the pre-daemon behavior: in local mode over a VTB
-// file, a stderr line says how effective zone-map pruning was.
+// file, a stderr line says how effective zone-map pruning was — and, on the
+// streaming cursor path, how much decoded data was ever resident at once,
+// which is what makes the bounded-memory claim of one-shot scans observable.
 func reportStats(ds *serve.Dataset, st serve.Stats) {
 	if ds == nil || st.Format != "vtb" {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "vitaquery: %s: read %d of %d blocks (%d pruned by zone maps), %d rows matched\n",
+	line := fmt.Sprintf("vitaquery: %s: read %d of %d blocks (%d pruned by zone maps), %d rows matched",
 		filepath.Base(ds.Path()), st.Scan.BlocksScanned, st.Scan.BlocksTotal,
 		st.Scan.BlocksPruned, st.Scan.RowsMatched)
+	if st.PeakDecodedBytes > 0 {
+		line += fmt.Sprintf(", peak %.1f KiB decoded", float64(st.PeakDecodedBytes)/1024)
+	}
+	fmt.Fprintln(os.Stderr, line)
 }
 
 func runRange(be backend, ds *serve.Dataset, args []string) error {

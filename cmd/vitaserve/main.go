@@ -13,6 +13,12 @@
 //	GET /v1/info
 //	GET /healthz
 //	GET /statsz
+//	GET /debug/pprof/*   (only with -pprof)
+//
+// The VTB file is memory-mapped by default so cache-miss block decodes read
+// straight from the OS page cache (-mmap=false falls back to plain reads);
+// -pprof mounts the standard profiling endpoints for profiling the daemon in
+// place.
 //
 // Responses are JSON and embed per-request scan stats (blocks pruned and
 // decoded, cache hits and misses); /statsz aggregates them over the daemon's
@@ -53,6 +59,8 @@ func run() error {
 	bucket := flag.Float64("bucket", 60, "index time-bucket width in seconds")
 	maxGap := flag.Float64("maxgap", 10, "max sample gap in seconds for instant queries")
 	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain timeout on shutdown")
+	useMmap := flag.Bool("mmap", true, "memory-map the VTB file (false = plain file reads)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes internals; keep off on untrusted networks)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -61,6 +69,7 @@ func run() error {
 		CacheBytes:   int64(*cacheMB) << 20,
 		IndexEntries: *indexEntries,
 		IndexBytes:   int64(*indexMB) << 20,
+		DisableMmap:  !*useMmap,
 	}
 	if *cacheMB == 0 {
 		cfg.CacheBytes = -1
@@ -75,17 +84,32 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer ds.Close()
+	// No deferred Close: the dataset is closed only after a clean drain.
+	// Closing an mmap-backed dataset unmaps its file region, so doing it
+	// while a timed-out drain leaves handlers mid-scan would fault them;
+	// on the error path the process exits and the OS reclaims the mapping.
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "vitaserve: serving %s (%s, %d samples, %d blocks) on http://%s\n",
-		ds.Path(), ds.Format(), ds.Len(), ds.Blocks(), l.Addr())
+	access := "pread"
+	if ds.Mmapped() {
+		access = "mmap"
+	}
+	fmt.Fprintf(os.Stderr, "vitaserve: serving %s (%s via %s, %d samples, %d blocks) on http://%s\n",
+		ds.Path(), ds.Format(), access, ds.Len(), ds.Blocks(), l.Addr())
 
 	srv := serve.NewServer(ds)
+	if *pprofOn {
+		srv.EnablePprof()
+		fmt.Fprintf(os.Stderr, "vitaserve: pprof enabled at http://%s/debug/pprof/\n", l.Addr())
+	}
 	if err := srv.RunUntilSignal(context.Background(), l, *drain, syscall.SIGINT, syscall.SIGTERM); err != nil {
+		return err
+	}
+	// The drain completed: every handler has returned, so unmapping is safe.
+	if err := ds.Close(); err != nil {
 		return err
 	}
 	st := srv.Stats()

@@ -1,0 +1,195 @@
+package colstore
+
+import (
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+// Column batches are the allocation-light alternative to per-row emit
+// callbacks: a cursor decodes one block at a time into a reusable set of
+// column slices, so a scan over millions of rows touches a bounded, reused
+// region of memory and never materializes []Sample. Consumers either iterate
+// columns directly (the vectorized path) or view single rows through Row,
+// which builds a Sample value on the stack.
+
+// TrajectoryBatch holds one block's worth of decoded trajectory samples in
+// column form. The slices share one length; all are valid until the owning
+// cursor's next Next or Close.
+type TrajectoryBatch struct {
+	ObjID     []int64
+	Building  []string
+	Floor     []int64
+	Partition []string
+	X, Y      []float64
+	T         []float64
+	HasPoint  []bool
+}
+
+// Len returns the number of rows in the batch.
+func (b *TrajectoryBatch) Len() int { return len(b.ObjID) }
+
+// Row assembles row i as a Sample value. The strings are shared with the
+// batch columns (and remain valid after the batch is reused — strings are
+// immutable), so Row allocates nothing.
+func (b *TrajectoryBatch) Row(i int) trajectory.Sample {
+	return trajectory.Sample{
+		ObjID: int(b.ObjID[i]),
+		Loc: model.Location{
+			Building:  b.Building[i],
+			Floor:     int(b.Floor[i]),
+			Partition: b.Partition[i],
+			Point:     geom.Pt(b.X[i], b.Y[i]),
+			HasPoint:  b.HasPoint[i],
+		},
+		T: b.T[i],
+	}
+}
+
+// Reset truncates the batch to zero rows, keeping column capacity.
+func (b *TrajectoryBatch) Reset() {
+	b.ObjID = b.ObjID[:0]
+	b.Building = b.Building[:0]
+	b.Floor = b.Floor[:0]
+	b.Partition = b.Partition[:0]
+	b.X, b.Y, b.T = b.X[:0], b.Y[:0], b.T[:0]
+	b.HasPoint = b.HasPoint[:0]
+}
+
+// Append appends one sample's fields to the columns (the write-side
+// counterpart of Row; used by the CSV batch adapter in internal/storage).
+func (b *TrajectoryBatch) Append(s trajectory.Sample) {
+	b.ObjID = append(b.ObjID, int64(s.ObjID))
+	b.Building = append(b.Building, s.Loc.Building)
+	b.Floor = append(b.Floor, int64(s.Loc.Floor))
+	b.Partition = append(b.Partition, s.Loc.Partition)
+	b.X = append(b.X, s.Loc.Point.X)
+	b.Y = append(b.Y, s.Loc.Point.Y)
+	b.T = append(b.T, s.T)
+	b.HasPoint = append(b.HasPoint, s.Loc.HasPoint)
+}
+
+// AppendTo appends every row to dst as Samples and returns it.
+func (b *TrajectoryBatch) AppendTo(dst []trajectory.Sample) []trajectory.Sample {
+	for i := 0; i < b.Len(); i++ {
+		dst = append(dst, b.Row(i))
+	}
+	return dst
+}
+
+// Bytes approximates the batch's resident footprint: the column backing
+// arrays plus the string bytes they reference. Cache layers use it to
+// account decoded-block budgets.
+func (b *TrajectoryBatch) Bytes() int64 {
+	n := int64(b.Len())
+	size := n * (8 + 16 + 8 + 16 + 8 + 8 + 8 + 1) // column elements incl. string headers
+	for i := range b.Building {
+		size += int64(len(b.Building[i]) + len(b.Partition[i]))
+	}
+	return size
+}
+
+// filter compacts the batch in place to the rows matching p, preserving
+// order.
+func (b *TrajectoryBatch) filter(p Predicate) {
+	if !p.HasTime && !p.HasFloor && !p.HasBox && !p.HasObj {
+		return
+	}
+	k := 0
+	for i := 0; i < b.Len(); i++ {
+		if !p.MatchTrajectory(b.Row(i)) {
+			continue
+		}
+		if i != k {
+			b.ObjID[k] = b.ObjID[i]
+			b.Building[k] = b.Building[i]
+			b.Floor[k] = b.Floor[i]
+			b.Partition[k] = b.Partition[i]
+			b.X[k], b.Y[k], b.T[k] = b.X[i], b.Y[i], b.T[i]
+			b.HasPoint[k] = b.HasPoint[i]
+		}
+		k++
+	}
+	b.truncate(k)
+}
+
+func (b *TrajectoryBatch) truncate(k int) {
+	b.ObjID = b.ObjID[:k]
+	b.Building = b.Building[:k]
+	b.Floor = b.Floor[:k]
+	b.Partition = b.Partition[:k]
+	b.X, b.Y, b.T = b.X[:k], b.Y[:k], b.T[:k]
+	b.HasPoint = b.HasPoint[:k]
+}
+
+// RSSIBatch holds one block's worth of decoded RSSI measurements in column
+// form; see TrajectoryBatch for the reuse contract.
+type RSSIBatch struct {
+	ObjID    []int64
+	DeviceID []string
+	RSSI     []float64
+	T        []float64
+}
+
+// Len returns the number of rows in the batch.
+func (b *RSSIBatch) Len() int { return len(b.ObjID) }
+
+// Row assembles row i as a Measurement value without allocating.
+func (b *RSSIBatch) Row(i int) rssi.Measurement {
+	return rssi.Measurement{
+		ObjID:    int(b.ObjID[i]),
+		DeviceID: b.DeviceID[i],
+		RSSI:     b.RSSI[i],
+		T:        b.T[i],
+	}
+}
+
+// Reset truncates the batch to zero rows, keeping column capacity.
+func (b *RSSIBatch) Reset() {
+	b.ObjID = b.ObjID[:0]
+	b.DeviceID = b.DeviceID[:0]
+	b.RSSI = b.RSSI[:0]
+	b.T = b.T[:0]
+}
+
+// AppendTo appends every row to dst as Measurements and returns it.
+func (b *RSSIBatch) AppendTo(dst []rssi.Measurement) []rssi.Measurement {
+	for i := 0; i < b.Len(); i++ {
+		dst = append(dst, b.Row(i))
+	}
+	return dst
+}
+
+// Bytes approximates the batch's resident footprint.
+func (b *RSSIBatch) Bytes() int64 {
+	size := int64(b.Len()) * (8 + 16 + 8 + 8)
+	for _, d := range b.DeviceID {
+		size += int64(len(d))
+	}
+	return size
+}
+
+// filter compacts the batch in place to the rows matching p (time and
+// object constraints; floor/box never apply to RSSI rows).
+func (b *RSSIBatch) filter(p Predicate) {
+	if !p.HasTime && !p.HasObj {
+		return
+	}
+	k := 0
+	for i := 0; i < b.Len(); i++ {
+		if !p.MatchRSSI(b.Row(i)) {
+			continue
+		}
+		if i != k {
+			b.ObjID[k] = b.ObjID[i]
+			b.DeviceID[k] = b.DeviceID[i]
+			b.RSSI[k], b.T[k] = b.RSSI[i], b.T[i]
+		}
+		k++
+	}
+	b.ObjID = b.ObjID[:k]
+	b.DeviceID = b.DeviceID[:k]
+	b.RSSI = b.RSSI[:k]
+	b.T = b.T[:k]
+}

@@ -321,7 +321,7 @@ func TestFloatColumnModes(t *testing.T) {
 			t.Fatalf("mode = %d, want %d for %v...", enc[0], wantMode, vals[:min(3, len(vals))])
 		}
 		c := &cursor{b: enc}
-		got := c.floatColumn(len(vals))
+		got := c.floatColumnInto(len(vals), nil, getScratch())
 		if c.err != nil {
 			t.Fatalf("decode: %v", c.err)
 		}

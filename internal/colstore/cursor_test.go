@@ -1,0 +1,270 @@
+package colstore
+
+import (
+	"bytes"
+	"testing"
+
+	"vita/internal/geom"
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+// cursorPreds is the predicate table shared by the cursor equality tests —
+// every pruning and filtering shape the predicate language supports.
+func cursorPreds() map[string]Predicate {
+	return map[string]Predicate{
+		"all":         {},
+		"time window": TimeWindow(100, 130),
+		"object":      {HasObj: true, Obj: 3},
+		"floor":       {HasFloor: true, Floor: 1},
+		"box": {HasBox: true,
+			Box: geom.BBox{Min: geom.Pt(10, 0), Max: geom.Pt(20, 3)}},
+		"combined": {HasTime: true, T0: 50, T1: 400, HasFloor: true, Floor: 0,
+			HasBox: true, Box: geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(30, 6)}},
+		"nothing": TimeWindow(1e6, 2e6),
+	}
+}
+
+// collectCursor drains a trajectory cursor into rows + stats.
+func collectCursor(t *testing.T, c *TrajectoryCursor) ([]trajectory.Sample, ScanStats) {
+	t.Helper()
+	var rows []trajectory.Sample
+	for c.Next() {
+		b := c.Batch()
+		if b.Len() == 0 {
+			t.Fatal("Next returned an empty batch")
+		}
+		rows = b.AppendTo(rows)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("cursor: %v", err)
+	}
+	return rows, c.Stats()
+}
+
+// TestCursorMatchesScan is the equality gate for the batch API: for every
+// predicate shape, the cursor's concatenated batches must be exactly the
+// rows of Scan — and of ScanParallel at every parallelism — with identical
+// ScanStats.
+func TestCursorMatchesScan(t *testing.T) {
+	samples := gridSamples(10, 600) // 6000 rows over many 256-row blocks
+	data := writeTrajectory(t, samples, Options{BlockSize: 256})
+	r := readTrajectory(t, data)
+
+	for name, pred := range cursorPreds() {
+		t.Run(name, func(t *testing.T) {
+			var want []trajectory.Sample
+			wantStats, err := r.Scan(pred, func(s trajectory.Sample) { want = append(want, s) })
+			if err != nil {
+				t.Fatalf("sequential scan: %v", err)
+			}
+			got, gotStats := collectCursor(t, r.Cursor(pred))
+			if gotStats != wantStats {
+				t.Errorf("stats differ: cursor %+v, scan %+v", gotStats, wantStats)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("cursor yielded %d rows, scan %d", len(got), len(want))
+			}
+			for i := range got {
+				if !sampleEqual(got[i], want[i]) {
+					t.Fatalf("row %d differs: got %+v, want %+v", i, got[i], want[i])
+				}
+			}
+			for _, p := range []int{1, 2, 8} {
+				var prows []trajectory.Sample
+				pstats, err := r.ScanParallel(pred, p, func(s trajectory.Sample) { prows = append(prows, s) })
+				if err != nil {
+					t.Fatalf("p=%d: %v", p, err)
+				}
+				if pstats != gotStats {
+					t.Errorf("p=%d: stats differ: parallel %+v, cursor %+v", p, pstats, gotStats)
+				}
+				if len(prows) != len(got) {
+					t.Fatalf("p=%d: %d rows, cursor %d", p, len(prows), len(got))
+				}
+				for i := range prows {
+					if !sampleEqual(prows[i], got[i]) {
+						t.Fatalf("p=%d: row %d differs", p, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCursorRSSI checks the RSSI cursor against Scan, including the rule
+// that floor/box constraints are dropped for RSSI rows.
+func TestCursorRSSI(t *testing.T) {
+	var ms []rssi.Measurement
+	for i := 0; i < 3000; i++ {
+		ms = append(ms, rssi.Measurement{
+			ObjID:    i % 12,
+			DeviceID: []string{"wifi-1", "wifi-2"}[i%2],
+			RSSI:     -40 - float64(i%50),
+			T:        float64(i) * 0.5,
+		})
+	}
+	var buf bytes.Buffer
+	w := NewRSSIWriterOptions(&buf, Options{BlockSize: 128})
+	for _, m := range ms {
+		if err := w.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRSSIReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := Predicate{HasTime: true, T0: 100, T1: 900, HasObj: true, Obj: 5,
+		HasFloor: true, Floor: 99, HasBox: true, Box: geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}}
+	var want []rssi.Measurement
+	wantStats, err := r.Scan(pred, func(m rssi.Measurement) { want = append(want, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("test predicate matched nothing")
+	}
+	c := r.Cursor(pred)
+	var got []rssi.Measurement
+	for c.Next() {
+		got = c.Batch().AppendTo(got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats() != wantStats {
+		t.Errorf("stats differ: cursor %+v, scan %+v", c.Stats(), wantStats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor yielded %d rows, scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if !measurementEqual(got[i], want[i]) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+// TestCursorBatchColumns spot-checks that the column view and the row view
+// agree, and that batches are rewritten (not reallocated) across blocks.
+func TestCursorBatchColumns(t *testing.T) {
+	samples := gridSamples(6, 400)
+	data := writeTrajectory(t, samples, Options{BlockSize: 128})
+	r := readTrajectory(t, data)
+	c := r.Cursor(Predicate{})
+	defer c.Close()
+	first := true
+	var firstBatch *TrajectoryBatch
+	rows := 0
+	for c.Next() {
+		b := c.Batch()
+		if first {
+			firstBatch = b
+			first = false
+		} else if b != firstBatch {
+			t.Fatal("Batch() returned a different batch pointer across Next calls")
+		}
+		if len(b.Building) != b.Len() || len(b.T) != b.Len() || len(b.HasPoint) != b.Len() {
+			t.Fatalf("ragged batch: lens %d/%d/%d vs %d", len(b.Building), len(b.T), len(b.HasPoint), b.Len())
+		}
+		for i := 0; i < b.Len(); i++ {
+			s := b.Row(i)
+			if s.T != b.T[i] || int64(s.ObjID) != b.ObjID[i] || s.Loc.Building != b.Building[i] {
+				t.Fatalf("row %d disagrees with columns", i)
+			}
+			if !sampleEqual(s, samples[rows]) {
+				t.Fatalf("global row %d differs", rows)
+			}
+			rows++
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != len(samples) {
+		t.Fatalf("cursor yielded %d rows, want %d", rows, len(samples))
+	}
+}
+
+// TestCursorCorruptBlock checks that a corrupt block surfaces through Err
+// (not a panic) and stops iteration.
+func TestCursorCorruptBlock(t *testing.T) {
+	samples := gridSamples(4, 400)
+	data := writeTrajectory(t, samples, Options{BlockSize: 64})
+	r := readTrajectory(t, data)
+	mid := r.rd.offsets[len(r.rd.offsets)/2]
+	mangled := append([]byte{}, data...)
+	for i := mid + 12; i < mid+40 && i < int64(len(mangled)); i++ {
+		mangled[i] ^= 0xff
+	}
+	mr, err := NewTrajectoryReader(bytes.NewReader(mangled), int64(len(mangled)))
+	if err != nil {
+		t.Skip("corruption caught at open; block decode not reachable")
+	}
+	c := mr.Cursor(Predicate{})
+	rows := 0
+	for c.Next() {
+		rows += c.Batch().Len()
+	}
+	if c.Err() == nil {
+		t.Fatal("cursor over mangled file reported no error")
+	}
+	if c.Close() == nil {
+		t.Fatal("Close did not surface the cursor error")
+	}
+	if rows >= len(samples) {
+		t.Fatalf("cursor yielded %d rows despite corrupt block", rows)
+	}
+	if c.Next() {
+		t.Fatal("Next returned true after error")
+	}
+}
+
+// TestCursorClose checks that a closed cursor stops iterating and that
+// closing twice is safe.
+func TestCursorClose(t *testing.T) {
+	samples := gridSamples(4, 200)
+	data := writeTrajectory(t, samples, Options{BlockSize: 64})
+	r := readTrajectory(t, data)
+	c := r.Cursor(Predicate{})
+	if !c.Next() {
+		t.Fatalf("first Next failed: %v", c.Err())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Next() {
+		t.Fatal("Next returned true after Close")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCursorStatsAcrossPredicates double-checks the pruning counters line up
+// with the zone-map geometry for a window that skips most of the file.
+func TestCursorStatsAcrossPredicates(t *testing.T) {
+	samples := gridSamples(10, 600)
+	data := writeTrajectory(t, samples, Options{BlockSize: 256})
+	r := readTrajectory(t, data)
+	c := r.Cursor(TimeWindow(100, 130))
+	for c.Next() {
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.BlocksPruned == 0 {
+		t.Fatalf("no blocks pruned: %+v", st)
+	}
+	if st.BlocksScanned+st.BlocksPruned != st.BlocksTotal {
+		t.Fatalf("block counters inconsistent: %+v", st)
+	}
+	if st.RowsMatched == 0 {
+		t.Fatalf("window matched nothing: %+v", st)
+	}
+}

@@ -137,20 +137,27 @@ func appendBitset(dst []byte, vals []bool) []byte {
 }
 
 // compressBlock flate-compresses raw when that shrinks it, returning the
-// stored payload and the codec byte.
-func compressBlock(raw []byte, noCompress bool) ([]byte, byte, error) {
+// stored payload and the codec byte. The flate writer and output buffer are
+// the caller's and are reused across blocks; the returned payload is only
+// valid until the next call with the same buffers.
+func compressBlock(raw []byte, noCompress bool, fw **flate.Writer, buf *bytes.Buffer) ([]byte, byte, error) {
 	if noCompress {
 		return raw, codecRaw, nil
 	}
-	var buf bytes.Buffer
-	fw, err := flate.NewWriter(&buf, flate.DefaultCompression)
-	if err != nil {
+	buf.Reset()
+	if *fw == nil {
+		w, err := flate.NewWriter(buf, flate.DefaultCompression)
+		if err != nil {
+			return nil, 0, err
+		}
+		*fw = w
+	} else {
+		(*fw).Reset(buf)
+	}
+	if _, err := (*fw).Write(raw); err != nil {
 		return nil, 0, err
 	}
-	if _, err := fw.Write(raw); err != nil {
-		return nil, 0, err
-	}
-	if err := fw.Close(); err != nil {
+	if err := (*fw).Close(); err != nil {
 		return nil, 0, err
 	}
 	if buf.Len() >= len(raw) {
@@ -159,8 +166,12 @@ func compressBlock(raw []byte, noCompress bool) ([]byte, byte, error) {
 	return buf.Bytes(), codecFlate, nil
 }
 
-// decompressBlock reverses compressBlock, validating the declared raw size.
-func decompressBlock(stored []byte, codec byte, rawLen int) ([]byte, error) {
+// decompressInto reverses compressBlock, validating the declared raw size.
+// Raw blocks come back as the stored slice itself (zero-copy — on an
+// mmap-backed reader that is a window straight into the page cache); flate
+// blocks inflate into the scratch's reused output buffer via its pooled
+// decompressor. The result is only valid until the scratch's next use.
+func decompressInto(stored []byte, codec byte, rawLen int, sc *decodeScratch) ([]byte, error) {
 	switch codec {
 	case codecRaw:
 		if len(stored) != rawLen {
@@ -168,16 +179,19 @@ func decompressBlock(stored []byte, codec byte, rawLen int) ([]byte, error) {
 		}
 		return stored, nil
 	case codecFlate:
-		raw := make([]byte, 0, rawLen)
-		fr := flate.NewReader(bytes.NewReader(stored))
-		buf := bytes.NewBuffer(raw)
-		if _, err := io.Copy(buf, io.LimitReader(fr, int64(rawLen)+1)); err != nil {
+		if err := sc.flateReset(stored); err != nil {
 			return nil, fmt.Errorf("colstore: inflate block: %w", err)
 		}
-		if buf.Len() != rawLen {
-			return nil, fmt.Errorf("colstore: inflated block is %d bytes, header says %d", buf.Len(), rawLen)
+		sc.raw = growBytes(sc.raw, rawLen)
+		if _, err := io.ReadFull(sc.fr, sc.raw); err != nil {
+			return nil, fmt.Errorf("colstore: inflate block: %w", err)
 		}
-		return buf.Bytes(), nil
+		// The stream must end exactly at rawLen.
+		var one [1]byte
+		if _, err := io.ReadFull(sc.fr, one[:]); err != io.EOF {
+			return nil, fmt.Errorf("colstore: inflated block exceeds declared %d bytes", rawLen)
+		}
+		return sc.raw, nil
 	default:
 		return nil, fmt.Errorf("colstore: unknown block codec %d", codec)
 	}
@@ -245,8 +259,9 @@ func (c *cursor) count() int {
 	return int(v)
 }
 
-func (c *cursor) intColumn(n int) []int64 {
-	out := make([]int64, 0, n)
+// intColumnInto decodes n delta-of-delta varints, appending to out (callers
+// pass a reused slice truncated to zero) and returning it.
+func (c *cursor) intColumnInto(n int, out []int64) []int64 {
 	var prev, prevDelta int64
 	for i := 0; i < n; i++ {
 		z := c.varint()
@@ -265,30 +280,32 @@ func (c *cursor) intColumn(n int) []int64 {
 	return out
 }
 
-func (c *cursor) floatColumn(n int) []float64 {
+// floatColumnInto decodes one float column, appending to out and returning
+// it. The scaled mode borrows the scratch's int64 intermediate.
+func (c *cursor) floatColumnInto(n int, out []float64, sc *decodeScratch) []float64 {
 	mode := c.bytes(1)
 	if c.err != nil {
-		return nil
+		return out
 	}
-	out := make([]float64, 0, n)
 	switch mode[0] {
 	case floatScaled:
 		expB := c.bytes(1)
 		if c.err != nil {
-			return nil
+			return out
 		}
 		if expB[0] > maxScaleExp {
 			c.fail("bad float scale exponent %d", expB[0])
-			return nil
+			return out
 		}
 		scale := pow10[expB[0]]
-		for _, i := range c.intColumn(n) {
+		sc.i64 = c.intColumnInto(n, sc.i64[:0])
+		for _, i := range sc.i64 {
 			out = append(out, float64(i)/scale)
 		}
 	case floatRaw:
 		raw := c.bytes(8 * n)
 		if c.err != nil {
-			return nil
+			return out
 		}
 		var prev uint64
 		for i := 0; i < n; i++ {
@@ -301,36 +318,42 @@ func (c *cursor) floatColumn(n int) []float64 {
 	return out
 }
 
-func (c *cursor) dictColumn(n int) []string {
+// dictColumnInto decodes one dictionary column, appending to out and
+// returning it. Dictionary entries go through the scratch's interning table,
+// so a steady-state scan allocates a string only for names it has never seen.
+func (c *cursor) dictColumnInto(n int, out []string, sc *decodeScratch) []string {
 	dictLen := c.count()
-	dict := make([]string, 0, dictLen)
+	sc.dict = sc.dict[:0]
 	for i := 0; i < dictLen; i++ {
 		l := c.count()
-		dict = append(dict, string(c.bytes(l)))
+		b := c.bytes(l)
+		if c.err != nil {
+			return out
+		}
+		sc.dict = append(sc.dict, sc.intern(b))
 	}
-	out := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		idx := c.uvarint()
 		if c.err != nil {
-			return nil
+			return out
 		}
-		if idx >= uint64(len(dict)) {
-			c.fail("dictionary index %d out of range (%d entries)", idx, len(dict))
-			return nil
+		if idx >= uint64(len(sc.dict)) {
+			c.fail("dictionary index %d out of range (%d entries)", idx, len(sc.dict))
+			return out
 		}
-		out = append(out, dict[idx])
+		out = append(out, sc.dict[idx])
 	}
 	return out
 }
 
-func (c *cursor) bitset(n int) []bool {
+// bitsetInto decodes n bits, appending to out and returning it.
+func (c *cursor) bitsetInto(n int, out []bool) []bool {
 	raw := c.bytes((n + 7) / 8)
 	if c.err != nil {
-		return nil
+		return out
 	}
-	out := make([]bool, n)
-	for i := range out {
-		out[i] = raw[i/8]&(1<<uint(i%8)) != 0
+	for i := 0; i < n; i++ {
+		out = append(out, raw[i/8]&(1<<uint(i%8)) != 0)
 	}
 	return out
 }

@@ -1,0 +1,18 @@
+//go:build !linux && !darwin
+
+package colstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapAvailable reports whether this build can memory-map VTB files. On
+// platforms without a wired-up mmap, every open silently degrades to the
+// io.ReaderAt path — same bytes, same results, pread copies instead of
+// page-cache windows.
+const mmapAvailable = false
+
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("colstore: mmap unavailable on this platform")
+}

@@ -17,7 +17,9 @@ import (
 // receives rows in file order: workers publish per-block results and a merge
 // loop emits them in sequence. A semaphore bounds the number of
 // decoded-but-not-yet-merged blocks so a fast worker cannot materialize the
-// whole file ahead of a slow consumer.
+// whole file ahead of a slow consumer. Each worker owns one pooled decode
+// scratch, and only rows that pass the predicate are materialized for the
+// merge — filtered-out rows never leave the worker's reused batch.
 
 // ScanParallel is Scan with block decode spread over a worker pool.
 // parallelism 0 means runtime.GOMAXPROCS(0); 1 decodes inline exactly like
@@ -26,7 +28,7 @@ import (
 // concurrently, but with parallelism > 1 it runs on the calling goroutine
 // while workers decode ahead.
 func (tr *TrajectoryReader) ScanParallel(pred Predicate, parallelism int, emit func(trajectory.Sample)) (ScanStats, error) {
-	return scanParallel(tr.rd, pred, parallelism, decodeTrajectoryRows, Predicate.MatchTrajectory, emit)
+	return scanParallel(tr.rd, pred, parallelism, decodeTrajectoryKept, emit)
 }
 
 // ScanParallel is Scan with block decode spread over a worker pool; see
@@ -35,19 +37,47 @@ func (rr *RSSIReader) ScanParallel(pred Predicate, parallelism int, emit func(rs
 	// As in the sequential Scan, floor/box constraints are meaningless for
 	// RSSI rows; drop them so they neither prune blocks nor filter rows.
 	pred.HasFloor, pred.HasBox = false, false
-	return scanParallel(rr.rd, pred, parallelism, decodeRSSIRows, Predicate.MatchRSSI, emit)
+	return scanParallel(rr.rd, pred, parallelism, decodeRSSIKept, emit)
 }
 
-func decodeTrajectoryRows(raw []byte) ([]trajectory.Sample, error) {
-	var out []trajectory.Sample
-	err := decodeTrajectoryBlock(raw, func(s trajectory.Sample) { out = append(out, s) })
-	return out, err
+// decodeTrajectoryKept decodes block i through sc and returns the rows that
+// pass pred (freshly allocated — they outlive the scratch) plus the count of
+// rows decoded before filtering.
+func decodeTrajectoryKept(rd *reader, i int, pred Predicate, sc *decodeScratch) ([]trajectory.Sample, int, error) {
+	raw, err := rd.blockBytes(i, sc)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := decodeTrajectoryBatchInto(raw, &sc.batch, sc); err != nil {
+		return nil, 0, fmt.Errorf("block %d: %w", i, err)
+	}
+	scanned := sc.batch.Len()
+	var kept []trajectory.Sample
+	for j := 0; j < scanned; j++ {
+		if s := sc.batch.Row(j); pred.MatchTrajectory(s) {
+			kept = append(kept, s)
+		}
+	}
+	return kept, scanned, nil
 }
 
-func decodeRSSIRows(raw []byte) ([]rssi.Measurement, error) {
-	var out []rssi.Measurement
-	err := decodeRSSIBlock(raw, func(m rssi.Measurement) { out = append(out, m) })
-	return out, err
+// decodeRSSIKept is decodeTrajectoryKept for RSSI blocks.
+func decodeRSSIKept(rd *reader, i int, pred Predicate, sc *decodeScratch) ([]rssi.Measurement, int, error) {
+	raw, err := rd.blockBytes(i, sc)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := decodeRSSIBatchInto(raw, &sc.rbatch, sc); err != nil {
+		return nil, 0, fmt.Errorf("block %d: %w", i, err)
+	}
+	scanned := sc.rbatch.Len()
+	var kept []rssi.Measurement
+	for j := 0; j < scanned; j++ {
+		if m := sc.rbatch.Row(j); pred.MatchRSSI(m) {
+			kept = append(kept, m)
+		}
+	}
+	return kept, scanned, nil
 }
 
 // blockResult carries one decoded block from a worker to the merge loop.
@@ -58,7 +88,7 @@ type blockResult[T any] struct {
 }
 
 func scanParallel[T any](rd *reader, pred Predicate, parallelism int,
-	decode func([]byte) ([]T, error), match func(Predicate, T) bool,
+	decode func(*reader, int, Predicate, *decodeScratch) ([]T, int, error),
 	emit func(T)) (ScanStats, error) {
 
 	if parallelism <= 0 {
@@ -75,22 +105,18 @@ func scanParallel[T any](rd *reader, pred Predicate, parallelism int,
 	}
 
 	if parallelism == 1 || len(surviving) <= 1 {
+		sc := getScratch()
+		defer putScratch(sc)
 		for _, i := range surviving {
 			stats.BlocksScanned++
-			raw, err := rd.block(i)
+			rows, scanned, err := decode(rd, i, pred, sc)
 			if err != nil {
 				return stats, err
 			}
-			rows, err := decode(raw)
-			if err != nil {
-				return stats, fmt.Errorf("block %d: %w", i, err)
-			}
-			stats.RowsScanned += len(rows)
+			stats.RowsScanned += scanned
 			for _, r := range rows {
-				if match(pred, r) {
-					stats.RowsMatched++
-					emit(r)
-				}
+				stats.RowsMatched++
+				emit(r)
 			}
 		}
 		return stats, nil
@@ -117,6 +143,8 @@ func scanParallel[T any](rd *reader, pred Predicate, parallelism int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := getScratch()
+			defer putScratch(sc)
 			for {
 				sem <- struct{}{}
 				j := int(next.Add(1) - 1)
@@ -125,21 +153,7 @@ func scanParallel[T any](rd *reader, pred Predicate, parallelism int,
 					return
 				}
 				res := &results[j]
-				raw, err := rd.block(surviving[j])
-				if err != nil {
-					res.err = err
-				} else if rows, err := decode(raw); err != nil {
-					res.err = fmt.Errorf("block %d: %w", surviving[j], err)
-				} else {
-					res.scanned = len(rows)
-					kept := rows[:0]
-					for _, r := range rows {
-						if match(pred, r) {
-							kept = append(kept, r)
-						}
-					}
-					res.rows = kept
-				}
+				res.rows, res.scanned, res.err = decode(rd, surviving[j], pred, sc)
 				close(done[j])
 			}
 		}()

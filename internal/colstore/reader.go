@@ -1,14 +1,15 @@
 package colstore
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 
 	"vita/internal/geom"
-	"vita/internal/model"
 	"vita/internal/rssi"
 	"vita/internal/trajectory"
 )
@@ -16,6 +17,10 @@ import (
 // reader owns the kind-independent read machinery: header/footer validation
 // and block fetch + decompression. Typed readers layer row decoding and
 // predicate evaluation on top.
+//
+// A reader is backed either by a memory-mapped file (data non-nil; block
+// fetch slices the page-cache-backed region with no syscalls or copies) or
+// by a plain io.ReaderAt (block fetch preads into the caller's scratch).
 type reader struct {
 	r       io.ReaderAt
 	size    int64
@@ -23,6 +28,19 @@ type reader struct {
 	zones   []ZoneMap
 	offsets []int64
 	closer  io.Closer // set when the reader owns the underlying file
+
+	data   []byte // whole-file image when mmap-backed, else nil
+	unmap  func() error
+	closed atomic.Bool
+}
+
+// OpenOptions tunes how a VTB file is opened. The zero value selects the
+// defaults: memory-map when the platform supports it, falling back to pread
+// silently when it does not (or when mapping fails).
+type OpenOptions struct {
+	// DisableMmap forces the io.ReaderAt path even where mmap is available
+	// — the escape hatch behind the CLIs' -mmap=false flags.
+	DisableMmap bool
 }
 
 func openReader(r io.ReaderAt, size int64, want Kind) (*reader, error) {
@@ -94,30 +112,96 @@ func openReader(r io.ReaderAt, size int64, want Kind) (*reader, error) {
 	return rd, nil
 }
 
-// block fetches and decompresses block i.
-func (rd *reader) block(i int) ([]byte, error) {
-	var frame [9]byte
-	if _, err := rd.r.ReadAt(frame[:], rd.offsets[i]); err != nil {
-		return nil, fmt.Errorf("colstore: read block %d frame: %w", i, err)
+// openPath opens the VTB file at path, mmap-backed unless disabled or
+// unavailable (then pread-backed). The returned reader owns the file.
+func openPath(path string, want Kind, opts OpenOptions) (*reader, error) {
+	f, size, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.DisableMmap {
+		if data, unmap, err := mmapFile(f, size); err == nil {
+			rd, err := openReader(bytes.NewReader(data), size, want)
+			if err != nil {
+				unmap()
+				f.Close()
+				return nil, err
+			}
+			rd.data = data
+			rd.unmap = unmap
+			rd.closer = f
+			return rd, nil
+		}
+		// Mapping failed (unsupported platform, exotic filesystem, empty
+		// file): degrade to pread. Results are byte-identical either way.
+	}
+	rd, err := openReader(f, size, want)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	rd.closer = f
+	return rd, nil
+}
+
+// blockBytes fetches and decompresses block i into (at most) the scratch's
+// buffers. On the mmap path an uncompressed block comes back as a window
+// into the mapped region — zero copies end to end; flate blocks inflate
+// through the scratch's pooled decompressor. The result is only valid until
+// the scratch's next use.
+func (rd *reader) blockBytes(i int, sc *decodeScratch) ([]byte, error) {
+	if rd.closed.Load() {
+		return nil, fmt.Errorf("colstore: read from closed reader")
+	}
+	off := rd.offsets[i]
+	var frame []byte
+	if rd.data != nil {
+		frame = rd.data[off : off+9]
+	} else {
+		var fbuf [9]byte
+		if _, err := rd.r.ReadAt(fbuf[:], off); err != nil {
+			return nil, fmt.Errorf("colstore: read block %d frame: %w", i, err)
+		}
+		frame = fbuf[:]
 	}
 	storedLen := int(binary.LittleEndian.Uint32(frame[0:]))
 	codec := frame[4]
 	rawLen := int(binary.LittleEndian.Uint32(frame[5:]))
-	if int64(storedLen) > rd.size-rd.offsets[i] {
+	if int64(storedLen) > rd.size-off-9 {
 		return nil, fmt.Errorf("colstore: block %d claims %d bytes past EOF", i, storedLen)
 	}
-	stored := make([]byte, storedLen)
-	if _, err := rd.r.ReadAt(stored, rd.offsets[i]+9); err != nil {
-		return nil, fmt.Errorf("colstore: read block %d: %w", i, err)
+	var stored []byte
+	if rd.data != nil {
+		stored = rd.data[off+9 : off+9+int64(storedLen)]
+	} else {
+		sc.stored = growBytes(sc.stored, storedLen)
+		if _, err := rd.r.ReadAt(sc.stored, off+9); err != nil {
+			return nil, fmt.Errorf("colstore: read block %d: %w", i, err)
+		}
+		stored = sc.stored
 	}
-	return decompressBlock(stored, codec, rawLen)
+	raw, err := decompressInto(stored, codec, rawLen, sc)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: block %d: %w", i, err)
+	}
+	return raw, nil
 }
 
 func (rd *reader) close() error {
-	if rd.closer != nil {
-		return rd.closer.Close()
+	if rd.closed.Swap(true) {
+		return nil
 	}
-	return nil
+	var err error
+	if rd.unmap != nil {
+		err = rd.unmap()
+		rd.data = nil
+	}
+	if rd.closer != nil {
+		if cerr := rd.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 func (rd *reader) len() int {
@@ -128,8 +212,12 @@ func (rd *reader) len() int {
 	return n
 }
 
+// mmapped reports whether block reads come from a memory-mapped region.
+func (rd *reader) mmapped() bool { return rd.data != nil }
+
 // TrajectoryReader reads trajectory samples from a VTB file with zone-map
-// pruned scans. It is safe for concurrent Scans.
+// pruned scans. It is safe for concurrent Scans; Close must not race a scan
+// in flight (an mmap-backed reader unmaps its file region on Close).
 type TrajectoryReader struct {
 	rd *reader
 }
@@ -143,24 +231,31 @@ func NewTrajectoryReader(r io.ReaderAt, size int64) (*TrajectoryReader, error) {
 	return &TrajectoryReader{rd: rd}, nil
 }
 
-// OpenTrajectory opens the trajectory VTB file at path. Close releases the
-// underlying file.
+// OpenTrajectory opens the trajectory VTB file at path with the default
+// options (memory-mapped where available). Close releases the underlying
+// file and mapping.
 func OpenTrajectory(path string) (*TrajectoryReader, error) {
-	f, size, err := openFile(path)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := NewTrajectoryReader(f, size)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	tr.rd.closer = f
-	return tr, nil
+	return OpenTrajectoryOptions(path, OpenOptions{})
 }
 
-// Close releases the underlying file when the reader owns one.
+// OpenTrajectoryOptions opens the trajectory VTB file at path with explicit
+// open options.
+func OpenTrajectoryOptions(path string, opts OpenOptions) (*TrajectoryReader, error) {
+	rd, err := openPath(path, KindTrajectory, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TrajectoryReader{rd: rd}, nil
+}
+
+// Close releases the underlying file (and unmaps the region when
+// mmap-backed). Scans after Close fail; samples and batches already decoded
+// stay valid — decoding copies every value out of the mapped region.
 func (tr *TrajectoryReader) Close() error { return tr.rd.close() }
+
+// Mmapped reports whether the reader decodes blocks from a memory-mapped
+// region (false on the io.ReaderAt fallback path).
+func (tr *TrajectoryReader) Mmapped() bool { return tr.rd.mmapped() }
 
 // Len returns the total number of samples in the file (from the footer, no
 // block reads).
@@ -190,8 +285,12 @@ func (p Predicate) MatchRSSI(m rssi.Measurement) bool {
 
 // Scan streams every sample matching pred to emit, in file order, skipping
 // whole blocks whose zone maps rule them out. The returned stats report how
-// effective the pruning was.
+// effective the pruning was. Steady state the scan allocates only
+// never-seen-before strings: block fetch, decompression, and column decode
+// all run out of pooled scratch buffers.
 func (tr *TrajectoryReader) Scan(pred Predicate, emit func(trajectory.Sample)) (ScanStats, error) {
+	sc := getScratch()
+	defer putScratch(sc)
 	stats := ScanStats{BlocksTotal: len(tr.rd.zones)}
 	for i, zm := range tr.rd.zones {
 		if pred.skipBlock(zm) {
@@ -199,37 +298,52 @@ func (tr *TrajectoryReader) Scan(pred Predicate, emit func(trajectory.Sample)) (
 			continue
 		}
 		stats.BlocksScanned++
-		raw, err := tr.rd.block(i)
+		raw, err := tr.rd.blockBytes(i, sc)
 		if err != nil {
 			return stats, err
 		}
-		if err := decodeTrajectoryBlock(raw, func(s trajectory.Sample) {
+		if err := decodeTrajectoryBatchInto(raw, &sc.batch, sc); err != nil {
+			return stats, fmt.Errorf("block %d: %w", i, err)
+		}
+		for j := 0; j < sc.batch.Len(); j++ {
 			stats.RowsScanned++
+			s := sc.batch.Row(j)
 			if pred.MatchTrajectory(s) {
 				stats.RowsMatched++
 				emit(s)
 			}
-		}); err != nil {
-			return stats, fmt.Errorf("block %d: %w", i, err)
 		}
 	}
 	return stats, nil
 }
 
 // DecodeBlock decodes block i (0 <= i < len(Blocks())) in full, ignoring any
-// predicate. It is the cache-friendly entry point: a serving layer that keeps
-// decoded blocks resident fetches them here once and filters rows itself with
-// Predicate.MatchTrajectory. Safe for concurrent use.
+// predicate, into freshly allocated rows. Safe for concurrent use.
 func (tr *TrajectoryReader) DecodeBlock(i int) ([]trajectory.Sample, error) {
-	if i < 0 || i >= len(tr.rd.zones) {
-		return nil, fmt.Errorf("colstore: block index %d out of range [0, %d)", i, len(tr.rd.zones))
-	}
-	raw, err := tr.rd.block(i)
+	b, err := tr.DecodeBlockBatch(i)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]trajectory.Sample, 0, tr.rd.zones[i].Count)
-	if err := decodeTrajectoryBlock(raw, func(s trajectory.Sample) { out = append(out, s) }); err != nil {
+	return b.AppendTo(make([]trajectory.Sample, 0, b.Len())), nil
+}
+
+// DecodeBlockBatch decodes block i in full into a freshly allocated column
+// batch the caller owns — the cache entry point: a serving layer keeps
+// decoded batches resident (their footprint is what Bytes reports), fetches
+// them here once, and filters rows itself with Predicate.MatchTrajectory.
+// Safe for concurrent use.
+func (tr *TrajectoryReader) DecodeBlockBatch(i int) (*TrajectoryBatch, error) {
+	if i < 0 || i >= len(tr.rd.zones) {
+		return nil, fmt.Errorf("colstore: block index %d out of range [0, %d)", i, len(tr.rd.zones))
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	raw, err := tr.rd.blockBytes(i, sc)
+	if err != nil {
+		return nil, err
+	}
+	out := &TrajectoryBatch{}
+	if err := decodeTrajectoryBatchInto(raw, out, sc); err != nil {
 		return nil, fmt.Errorf("block %d: %w", i, err)
 	}
 	return out, nil
@@ -242,32 +356,23 @@ func (tr *TrajectoryReader) ReadAll() ([]trajectory.Sample, error) {
 	return out, err
 }
 
-func decodeTrajectoryBlock(raw []byte, emit func(trajectory.Sample)) error {
+// decodeTrajectoryBatchInto decodes one raw block payload into b's reused
+// columns, borrowing intermediates from sc.
+func decodeTrajectoryBatchInto(raw []byte, b *TrajectoryBatch, sc *decodeScratch) error {
 	c := &cursor{b: raw}
 	n := c.count()
-	objIDs := c.intColumn(n)
-	buildings := c.dictColumn(n)
-	floors := c.intColumn(n)
-	parts := c.dictColumn(n)
-	xs := c.floatColumn(n)
-	ys := c.floatColumn(n)
-	ts := c.floatColumn(n)
-	hasPt := c.bitset(n)
+	b.Reset()
+	b.ObjID = c.intColumnInto(n, b.ObjID)
+	b.Building = c.dictColumnInto(n, b.Building, sc)
+	b.Floor = c.intColumnInto(n, b.Floor)
+	b.Partition = c.dictColumnInto(n, b.Partition, sc)
+	b.X = c.floatColumnInto(n, b.X, sc)
+	b.Y = c.floatColumnInto(n, b.Y, sc)
+	b.T = c.floatColumnInto(n, b.T, sc)
+	b.HasPoint = c.bitsetInto(n, b.HasPoint)
 	if c.err != nil {
+		b.Reset()
 		return c.err
-	}
-	for i := 0; i < n; i++ {
-		emit(trajectory.Sample{
-			ObjID: int(objIDs[i]),
-			Loc: model.Location{
-				Building:  buildings[i],
-				Floor:     int(floors[i]),
-				Partition: parts[i],
-				Point:     geom.Pt(xs[i], ys[i]),
-				HasPoint:  hasPt[i],
-			},
-			T: ts[i],
-		})
 	}
 	return nil
 }
@@ -286,24 +391,30 @@ func NewRSSIReader(r io.ReaderAt, size int64) (*RSSIReader, error) {
 	return &RSSIReader{rd: rd}, nil
 }
 
-// OpenRSSI opens the RSSI VTB file at path. Close releases the underlying
-// file.
+// OpenRSSI opens the RSSI VTB file at path with the default options
+// (memory-mapped where available). Close releases the underlying file and
+// mapping.
 func OpenRSSI(path string) (*RSSIReader, error) {
-	f, size, err := openFile(path)
-	if err != nil {
-		return nil, err
-	}
-	rr, err := NewRSSIReader(f, size)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	rr.rd.closer = f
-	return rr, nil
+	return OpenRSSIOptions(path, OpenOptions{})
 }
 
-// Close releases the underlying file when the reader owns one.
+// OpenRSSIOptions opens the RSSI VTB file at path with explicit open
+// options.
+func OpenRSSIOptions(path string, opts OpenOptions) (*RSSIReader, error) {
+	rd, err := openPath(path, KindRSSI, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RSSIReader{rd: rd}, nil
+}
+
+// Close releases the underlying file (and unmaps the region when
+// mmap-backed); see TrajectoryReader.Close.
 func (rr *RSSIReader) Close() error { return rr.rd.close() }
+
+// Mmapped reports whether the reader decodes blocks from a memory-mapped
+// region.
+func (rr *RSSIReader) Mmapped() bool { return rr.rd.mmapped() }
 
 // Len returns the total number of measurements in the file.
 func (rr *RSSIReader) Len() int { return rr.rd.len() }
@@ -322,6 +433,8 @@ func (rr *RSSIReader) Scan(pred Predicate, emit func(rssi.Measurement)) (ScanSta
 	// Floor and box constraints are meaningless for RSSI rows; drop them so
 	// they neither prune blocks nor filter rows.
 	pred.HasFloor, pred.HasBox = false, false
+	sc := getScratch()
+	defer putScratch(sc)
 	stats := ScanStats{BlocksTotal: len(rr.rd.zones)}
 	for i, zm := range rr.rd.zones {
 		if pred.skipBlock(zm) {
@@ -329,18 +442,20 @@ func (rr *RSSIReader) Scan(pred Predicate, emit func(rssi.Measurement)) (ScanSta
 			continue
 		}
 		stats.BlocksScanned++
-		raw, err := rr.rd.block(i)
+		raw, err := rr.rd.blockBytes(i, sc)
 		if err != nil {
 			return stats, err
 		}
-		if err := decodeRSSIBlock(raw, func(m rssi.Measurement) {
+		if err := decodeRSSIBatchInto(raw, &sc.rbatch, sc); err != nil {
+			return stats, fmt.Errorf("block %d: %w", i, err)
+		}
+		for j := 0; j < sc.rbatch.Len(); j++ {
 			stats.RowsScanned++
+			m := sc.rbatch.Row(j)
 			if pred.MatchRSSI(m) {
 				stats.RowsMatched++
 				emit(m)
 			}
-		}); err != nil {
-			return stats, fmt.Errorf("block %d: %w", i, err)
 		}
 	}
 	return stats, nil
@@ -349,15 +464,28 @@ func (rr *RSSIReader) Scan(pred Predicate, emit func(rssi.Measurement)) (ScanSta
 // DecodeBlock decodes block i in full, ignoring any predicate; see
 // TrajectoryReader.DecodeBlock. Safe for concurrent use.
 func (rr *RSSIReader) DecodeBlock(i int) ([]rssi.Measurement, error) {
-	if i < 0 || i >= len(rr.rd.zones) {
-		return nil, fmt.Errorf("colstore: block index %d out of range [0, %d)", i, len(rr.rd.zones))
-	}
-	raw, err := rr.rd.block(i)
+	b, err := rr.DecodeBlockBatch(i)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]rssi.Measurement, 0, rr.rd.zones[i].Count)
-	if err := decodeRSSIBlock(raw, func(m rssi.Measurement) { out = append(out, m) }); err != nil {
+	return b.AppendTo(make([]rssi.Measurement, 0, b.Len())), nil
+}
+
+// DecodeBlockBatch decodes block i in full into a freshly allocated column
+// batch the caller owns; see TrajectoryReader.DecodeBlockBatch. Safe for
+// concurrent use.
+func (rr *RSSIReader) DecodeBlockBatch(i int) (*RSSIBatch, error) {
+	if i < 0 || i >= len(rr.rd.zones) {
+		return nil, fmt.Errorf("colstore: block index %d out of range [0, %d)", i, len(rr.rd.zones))
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	raw, err := rr.rd.blockBytes(i, sc)
+	if err != nil {
+		return nil, err
+	}
+	out := &RSSIBatch{}
+	if err := decodeRSSIBatchInto(raw, out, sc); err != nil {
 		return nil, fmt.Errorf("block %d: %w", i, err)
 	}
 	return out, nil
@@ -370,23 +498,18 @@ func (rr *RSSIReader) ReadAll() ([]rssi.Measurement, error) {
 	return out, err
 }
 
-func decodeRSSIBlock(raw []byte, emit func(rssi.Measurement)) error {
+// decodeRSSIBatchInto decodes one raw block payload into b's reused columns.
+func decodeRSSIBatchInto(raw []byte, b *RSSIBatch, sc *decodeScratch) error {
 	c := &cursor{b: raw}
 	n := c.count()
-	objIDs := c.intColumn(n)
-	devices := c.dictColumn(n)
-	values := c.floatColumn(n)
-	ts := c.floatColumn(n)
+	b.Reset()
+	b.ObjID = c.intColumnInto(n, b.ObjID)
+	b.DeviceID = c.dictColumnInto(n, b.DeviceID, sc)
+	b.RSSI = c.floatColumnInto(n, b.RSSI, sc)
+	b.T = c.floatColumnInto(n, b.T, sc)
 	if c.err != nil {
+		b.Reset()
 		return c.err
-	}
-	for i := 0; i < n; i++ {
-		emit(rssi.Measurement{
-			ObjID:    int(objIDs[i]),
-			DeviceID: devices[i],
-			RSSI:     values[i],
-			T:        ts[i],
-		})
 	}
 	return nil
 }

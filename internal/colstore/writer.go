@@ -1,6 +1,8 @@
 package colstore
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -27,7 +29,9 @@ type blockWriter struct {
 	offsets []int64
 	zones   []ZoneMap
 
-	payload []byte // reused encode buffer
+	payload []byte        // reused encode buffer
+	fw      *flate.Writer // reused compressor
+	cbuf    bytes.Buffer  // reused compression output
 }
 
 func newBlockWriter(w io.Writer, kind Kind, opts Options) *blockWriter {
@@ -63,7 +67,7 @@ func (bw *blockWriter) flushBlock(raw []byte, zm ZoneMap) {
 		return
 	}
 	bw.writeHeader()
-	stored, codec, err := compressBlock(raw, bw.opts.NoCompress)
+	stored, codec, err := compressBlock(raw, bw.opts.NoCompress, &bw.fw, &bw.cbuf)
 	if err != nil {
 		bw.err = err
 		return

@@ -1,0 +1,98 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"vita/internal/colstore"
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/trajectory"
+)
+
+func builderSamples() []trajectory.Sample {
+	var out []trajectory.Sample
+	for t := 0; t < 300; t++ {
+		for o := 0; o < 8; o++ {
+			out = append(out, trajectory.Sample{
+				ObjID: o,
+				Loc: model.At("b", o%2, []string{"lobby", "lab"}[o%2],
+					geom.Pt(float64((t+3*o)%35), float64(o)+0.5)),
+				T: float64(t),
+			})
+		}
+	}
+	return out
+}
+
+// TestIndexBuilderMatchesNewIndex requires an index assembled from column
+// batches (the streaming cursor path) to answer every operator exactly like
+// one built from the flat sample slice.
+func TestIndexBuilderMatchesNewIndex(t *testing.T) {
+	samples := builderSamples()
+	want := NewTrajectoryIndex(samples, DefaultOptions())
+
+	// Feed the same rows through batches of awkward sizes (including a
+	// trailing partial batch) like a block cursor would deliver them.
+	b := NewIndexBuilder(DefaultOptions())
+	var batch colstore.TrajectoryBatch
+	for i, s := range samples {
+		batch.Append(s)
+		if batch.Len() == 97 || i == len(samples)-1 {
+			b.AddBatch(&batch)
+			batch.Reset()
+		}
+	}
+	got := b.Build()
+
+	if got.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), want.Len())
+	}
+	if !reflect.DeepEqual(got.Objects(), want.Objects()) {
+		t.Fatalf("Objects = %v, want %v", got.Objects(), want.Objects())
+	}
+	if !reflect.DeepEqual(got.Floors(), want.Floors()) {
+		t.Fatalf("Floors = %v, want %v", got.Floors(), want.Floors())
+	}
+
+	box := geom.BBox{Min: geom.Pt(3, 0), Max: geom.Pt(20, 6)}
+	if !reflect.DeepEqual(got.Range(0, box, 40, 90), want.Range(0, box, 40, 90)) {
+		t.Error("Range answers differ")
+	}
+	if !reflect.DeepEqual(got.KNN(0, geom.Pt(10, 3), 120, 4), want.KNN(0, geom.Pt(10, 3), 120, 4)) {
+		t.Error("KNN answers differ")
+	}
+	if !reflect.DeepEqual(got.Density(150), want.Density(150)) {
+		t.Error("Density answers differ")
+	}
+	if !reflect.DeepEqual(got.ObjectTrajectory(3, 0, 200), want.ObjectTrajectory(3, 0, 200)) {
+		t.Error("ObjectTrajectory answers differ")
+	}
+}
+
+// TestIndexBuilderEmpty checks a Build with no samples behaves like an index
+// over an empty slice.
+func TestIndexBuilderEmpty(t *testing.T) {
+	got := NewIndexBuilder(Options{}).Build()
+	if got.Len() != 0 {
+		t.Fatalf("empty builder Len = %d", got.Len())
+	}
+	if _, _, ok := got.TimeSpan(); ok {
+		t.Fatal("empty builder has a time span")
+	}
+	if hits := got.Range(-1, geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}, 0, 1e9); len(hits) != 0 {
+		t.Fatalf("empty index returned %d hits", len(hits))
+	}
+}
+
+// TestIndexBuilderBuildTwice pins the single-Build contract.
+func TestIndexBuilderBuildTwice(t *testing.T) {
+	b := NewIndexBuilder(Options{})
+	b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Build did not panic")
+		}
+	}()
+	b.Build()
+}

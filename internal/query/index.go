@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 
+	"vita/internal/colstore"
 	"vita/internal/geom"
 	"vita/internal/index"
 	"vita/internal/model"
@@ -82,39 +83,86 @@ type TrajectoryIndex struct {
 // NewTrajectoryIndex builds the index over samples. The input slice is not
 // retained or mutated.
 func NewTrajectoryIndex(samples []trajectory.Sample, opts Options) *TrajectoryIndex {
-	opts = opts.withDefaults()
-	ix := &TrajectoryIndex{
-		opts:    opts,
-		series:  make(map[int][]trajectory.Sample),
-		buckets: make(map[bucketKey]*bucket),
-		minT:    math.Inf(1),
-		maxT:    math.Inf(-1),
-	}
-	perBucket := make(map[bucketKey][]index.Item)
-	floorSet := make(map[int]bool)
+	b := NewIndexBuilder(opts)
 	for _, s := range samples {
-		ix.series[s.ObjID] = append(ix.series[s.ObjID], s)
-		k := bucketKey{floor: s.Loc.Floor, bucket: ix.bucketOf(s.T)}
-		perBucket[k] = append(perBucket[k], &sampleItem{s: s})
-		floorSet[s.Loc.Floor] = true
-		ix.minT = math.Min(ix.minT, s.T)
-		ix.maxT = math.Max(ix.maxT, s.T)
+		b.Add(s)
 	}
+	return b.Build()
+}
+
+// IndexBuilder accumulates samples incrementally and assembles a
+// TrajectoryIndex at the end. It is the streaming entry point behind
+// NewTrajectoryIndex: feed it row by row (Add) or one decoded column batch
+// at a time (AddBatch, fed from a colstore/storage cursor), so building an
+// index over a huge file never materializes the full []Sample — peak memory
+// beyond the index itself is one batch. Not safe for concurrent use; Build
+// may be called once.
+type IndexBuilder struct {
+	ix        *TrajectoryIndex
+	perBucket map[bucketKey][]index.Item
+	floorSet  map[int]bool
+	built     bool
+}
+
+// NewIndexBuilder returns an empty builder with the given index layout.
+func NewIndexBuilder(opts Options) *IndexBuilder {
+	opts = opts.withDefaults()
+	return &IndexBuilder{
+		ix: &TrajectoryIndex{
+			opts:    opts,
+			series:  make(map[int][]trajectory.Sample),
+			buckets: make(map[bucketKey]*bucket),
+			minT:    math.Inf(1),
+			maxT:    math.Inf(-1),
+		},
+		perBucket: make(map[bucketKey][]index.Item),
+		floorSet:  make(map[int]bool),
+	}
+}
+
+// Add appends one sample.
+func (b *IndexBuilder) Add(s trajectory.Sample) {
+	ix := b.ix
+	ix.series[s.ObjID] = append(ix.series[s.ObjID], s)
+	k := bucketKey{floor: s.Loc.Floor, bucket: ix.bucketOf(s.T)}
+	b.perBucket[k] = append(b.perBucket[k], &sampleItem{s: s})
+	b.floorSet[s.Loc.Floor] = true
+	ix.minT = math.Min(ix.minT, s.T)
+	ix.maxT = math.Max(ix.maxT, s.T)
+}
+
+// AddBatch appends every row of a decoded column batch. The batch is not
+// retained — its reusable columns may be overwritten after AddBatch returns
+// (row strings are shared, which is safe: strings are immutable).
+func (b *IndexBuilder) AddBatch(batch *colstore.TrajectoryBatch) {
+	for i := 0; i < batch.Len(); i++ {
+		b.Add(batch.Row(i))
+	}
+}
+
+// Build sorts the per-object series, bulk-loads the per-bucket R-trees, and
+// returns the finished index. The builder must not be reused afterwards.
+func (b *IndexBuilder) Build() *TrajectoryIndex {
+	if b.built {
+		panic("query: IndexBuilder.Build called twice")
+	}
+	b.built = true
+	ix := b.ix
 	for id, ser := range ix.series {
 		sort.Slice(ser, func(i, j int) bool { return ser[i].T < ser[j].T })
 		ix.objects = append(ix.objects, id)
 	}
 	sort.Ints(ix.objects)
-	for k, items := range perBucket {
-		b := &bucket{tree: index.BulkLoad(items)}
+	for k, items := range b.perBucket {
+		bk := &bucket{tree: index.BulkLoad(items)}
 		seen := make(map[int]bool)
 		for _, it := range items {
 			seen[it.(*sampleItem).s.ObjID] = true
 		}
-		b.objs = sortedKeys(seen)
-		ix.buckets[k] = b
+		bk.objs = sortedKeys(seen)
+		ix.buckets[k] = bk
 	}
-	for fl := range floorSet {
+	for fl := range b.floorSet {
 		ix.floors = append(ix.floors, fl)
 	}
 	sort.Ints(ix.floors)

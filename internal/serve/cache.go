@@ -4,13 +4,17 @@ import (
 	"container/list"
 	"sync"
 
+	"vita/internal/colstore"
 	"vita/internal/trajectory"
 )
 
 // BlockCache is a size-bounded LRU cache of decoded VTB blocks, keyed by
 // block index within the owning dataset's trajectory file. It holds fully
-// decoded, unfiltered blocks so one cached decode serves every predicate;
-// callers filter rows with colstore.Predicate.MatchTrajectory. Safe for
+// decoded, unfiltered column batches — the shape block decode produces, and
+// ~25% smaller resident than the equivalent []Sample — so one cached decode
+// serves every predicate; callers filter rows with
+// colstore.Predicate.MatchTrajectory over Batch.Row. Byte accounting is the
+// decoded-batch footprint (colstore.TrajectoryBatch.Bytes). Safe for
 // concurrent use.
 type BlockCache struct {
 	mu       sync.Mutex
@@ -24,13 +28,13 @@ type BlockCache struct {
 
 type cacheEntry struct {
 	block int
-	rows  []trajectory.Sample
+	batch *colstore.TrajectoryBatch
 	bytes int64
 }
 
-// NewBlockCache returns a cache that holds at most maxBytes of decoded rows
-// (approximate accounting, see samplesBytes). maxBytes <= 0 disables caching:
-// every Get misses and Put is a no-op.
+// NewBlockCache returns a cache that holds at most maxBytes of decoded
+// batches. maxBytes <= 0 disables caching: every Get misses and Put is a
+// no-op.
 func NewBlockCache(maxBytes int64) *BlockCache {
 	return &BlockCache{
 		maxBytes: maxBytes,
@@ -39,9 +43,9 @@ func NewBlockCache(maxBytes int64) *BlockCache {
 	}
 }
 
-// Get returns the cached rows for a block and marks them most recently used.
-// The returned slice is shared — callers must not modify it.
-func (c *BlockCache) Get(block int) ([]trajectory.Sample, bool) {
+// Get returns the cached batch for a block and marks it most recently used.
+// The returned batch is shared — callers must not modify it.
+func (c *BlockCache) Get(block int) (*colstore.TrajectoryBatch, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[block]
@@ -51,14 +55,14 @@ func (c *BlockCache) Get(block int) ([]trajectory.Sample, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).rows, true
+	return el.Value.(*cacheEntry).batch, true
 }
 
-// Put inserts the decoded rows for a block, evicting least-recently-used
+// Put inserts the decoded batch for a block, evicting least-recently-used
 // entries until the byte budget holds. A block larger than the whole budget
 // is not cached at all.
-func (c *BlockCache) Put(block int, rows []trajectory.Sample) {
-	size := samplesBytes(rows)
+func (c *BlockCache) Put(block int, batch *colstore.TrajectoryBatch) {
+	size := batch.Bytes()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if size > c.maxBytes {
@@ -66,11 +70,11 @@ func (c *BlockCache) Put(block int, rows []trajectory.Sample) {
 	}
 	if el, ok := c.entries[block]; ok {
 		c.bytes += size - el.Value.(*cacheEntry).bytes
-		el.Value.(*cacheEntry).rows = rows
+		el.Value.(*cacheEntry).batch = batch
 		el.Value.(*cacheEntry).bytes = size
 		c.ll.MoveToFront(el)
 	} else {
-		c.entries[block] = c.ll.PushFront(&cacheEntry{block: block, rows: rows, bytes: size})
+		c.entries[block] = c.ll.PushFront(&cacheEntry{block: block, batch: batch, bytes: size})
 		c.bytes += size
 	}
 	for c.bytes > c.maxBytes {
@@ -127,10 +131,10 @@ func (c *BlockCache) keysMRU() []int {
 // headers, Point, HasPoint, T) rounded to 96 bytes.
 const sampleFixedBytes = 96
 
-// samplesBytes approximates the resident size of a decoded block: fixed
-// struct cost per row plus the string bytes it references. The figure feeds
-// the cache's byte budget; it intentionally ignores allocator slack and
-// string interning, so treat budgets as approximate.
+// samplesBytes approximates the resident size of materialized rows: fixed
+// struct cost per row plus the string bytes they reference. The figure feeds
+// the index cache's byte budget; it intentionally ignores allocator slack
+// and string interning, so treat budgets as approximate.
 func samplesBytes(rows []trajectory.Sample) int64 {
 	n := int64(len(rows)) * sampleFixedBytes
 	for i := range rows {

@@ -4,27 +4,31 @@ import (
 	"fmt"
 	"testing"
 
+	"vita/internal/colstore"
 	"vita/internal/geom"
 	"vita/internal/model"
 	"vita/internal/trajectory"
 )
 
-// rowsOfSize builds a block whose samplesBytes is exactly n*sampleFixedBytes
-// (empty strings carry no extra bytes).
-func rowsOfSize(n int) []trajectory.Sample {
-	out := make([]trajectory.Sample, n)
-	for i := range out {
-		out[i] = trajectory.Sample{ObjID: i, T: float64(i),
-			Loc: model.Location{Point: geom.Pt(1, 2), HasPoint: true}}
+// batchOfSize builds a decoded batch of n rows with empty strings, so its
+// Bytes() is exactly n*batchRowBytes.
+func batchOfSize(n int) *colstore.TrajectoryBatch {
+	b := &colstore.TrajectoryBatch{}
+	for i := 0; i < n; i++ {
+		b.Append(trajectory.Sample{ObjID: i, T: float64(i),
+			Loc: model.Location{Point: geom.Pt(1, 2), HasPoint: true}})
 	}
-	return out
+	return b
 }
+
+// batchRowBytes is the per-row column footprint batchOfSize produces.
+var batchRowBytes = batchOfSize(1).Bytes()
 
 func TestBlockCacheEvictionOrder(t *testing.T) {
 	// Budget holds exactly three one-row blocks.
-	c := NewBlockCache(3 * sampleFixedBytes)
+	c := NewBlockCache(3 * batchRowBytes)
 	for i := 0; i < 3; i++ {
-		c.Put(i, rowsOfSize(1))
+		c.Put(i, batchOfSize(1))
 	}
 	if got := c.keysMRU(); len(got) != 3 || got[0] != 2 || got[2] != 0 {
 		t.Fatalf("MRU order after fills: %v", got)
@@ -33,7 +37,7 @@ func TestBlockCacheEvictionOrder(t *testing.T) {
 	if _, ok := c.Get(0); !ok {
 		t.Fatal("block 0 missing")
 	}
-	c.Put(3, rowsOfSize(1))
+	c.Put(3, batchOfSize(1))
 	if _, ok := c.Get(1); ok {
 		t.Error("block 1 survived eviction despite being LRU")
 	}
@@ -53,34 +57,33 @@ func TestBlockCacheEvictionOrder(t *testing.T) {
 
 func TestBlockCacheByteAccounting(t *testing.T) {
 	c := NewBlockCache(1 << 20)
-	rows := []trajectory.Sample{
-		{ObjID: 1, Loc: model.At("building", 0, "lobby", geom.Pt(1, 2)), T: 3},
-		{ObjID: 2, Loc: model.AtPartition("b", 1, "p")},
+	b := &colstore.TrajectoryBatch{}
+	b.Append(trajectory.Sample{ObjID: 1, Loc: model.At("building", 0, "lobby", geom.Pt(1, 2)), T: 3})
+	b.Append(trajectory.Sample{ObjID: 2, Loc: model.AtPartition("b", 1, "p")})
+	want := 2*batchRowBytes + int64(len("building")+len("lobby")+len("b")+len("p"))
+	if got := b.Bytes(); got != want {
+		t.Fatalf("batch Bytes = %d, want %d", got, want)
 	}
-	want := int64(2*sampleFixedBytes + len("building") + len("lobby") + len("b") + len("p"))
-	if got := samplesBytes(rows); got != want {
-		t.Fatalf("samplesBytes = %d, want %d", got, want)
-	}
-	c.Put(0, rows)
-	c.Put(1, rowsOfSize(4))
-	if st := c.Stats(); st.Bytes != want+4*sampleFixedBytes {
-		t.Errorf("cache bytes = %d, want %d", st.Bytes, want+4*sampleFixedBytes)
+	c.Put(0, b)
+	c.Put(1, batchOfSize(4))
+	if st := c.Stats(); st.Bytes != want+4*batchRowBytes {
+		t.Errorf("cache bytes = %d, want %d", st.Bytes, want+4*batchRowBytes)
 	}
 	// Replacing a key adjusts the account instead of double counting.
-	c.Put(0, rowsOfSize(1))
-	if st := c.Stats(); st.Bytes != 5*sampleFixedBytes {
-		t.Errorf("cache bytes after replace = %d, want %d", st.Bytes, 5*sampleFixedBytes)
+	c.Put(0, batchOfSize(1))
+	if st := c.Stats(); st.Bytes != 5*batchRowBytes {
+		t.Errorf("cache bytes after replace = %d, want %d", st.Bytes, 5*batchRowBytes)
 	}
 }
 
 func TestBlockCacheOversizedBlock(t *testing.T) {
-	c := NewBlockCache(2 * sampleFixedBytes)
-	c.Put(0, rowsOfSize(10)) // larger than the whole budget
+	c := NewBlockCache(2 * batchRowBytes)
+	c.Put(0, batchOfSize(10)) // larger than the whole budget
 	if st := c.Stats(); st.Blocks != 0 || st.Bytes != 0 {
 		t.Errorf("oversized block was cached: %+v", st)
 	}
 	// A fitting block still works afterwards.
-	c.Put(1, rowsOfSize(1))
+	c.Put(1, batchOfSize(1))
 	if _, ok := c.Get(1); !ok {
 		t.Error("fitting block not cached")
 	}
@@ -91,7 +94,7 @@ func TestBlockCacheHitMissCounters(t *testing.T) {
 	if _, ok := c.Get(0); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put(0, rowsOfSize(1))
+	c.Put(0, batchOfSize(1))
 	c.Get(0)
 	c.Get(0)
 	c.Get(9)

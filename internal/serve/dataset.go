@@ -40,6 +40,9 @@ type Config struct {
 	// of the whole dataset (default 256 MiB; negative caches indexes
 	// regardless of size, bounded only by IndexEntries).
 	IndexBytes int64
+	// DisableMmap forces the pread path for VTB files instead of the
+	// default memory-mapped reader — the -mmap=false escape hatch.
+	DisableMmap bool
 }
 
 func (c Config) withDefaults() Config {
@@ -110,7 +113,7 @@ func Open(dir string, cfg Config) (*Dataset, error) {
 		d.idx = newIndexCache(cfg.IndexEntries, cfg.IndexBytes)
 	}
 	if format == storage.FormatVTB {
-		tr, err := colstore.OpenTrajectory(path)
+		tr, err := colstore.OpenTrajectoryOptions(path, colstore.OpenOptions{DisableMmap: cfg.DisableMmap})
 		if err != nil {
 			return nil, err
 		}
@@ -148,6 +151,10 @@ func (d *Dataset) Format() storage.Format { return d.format }
 
 // Blocks returns the number of blocks in a VTB dataset (0 for CSV).
 func (d *Dataset) Blocks() int { return len(d.zones) }
+
+// Mmapped reports whether a VTB dataset decodes blocks from a memory-mapped
+// region (always false for CSV datasets and on the pread fallback).
+func (d *Dataset) Mmapped() bool { return d.tr != nil && d.tr.Mmapped() }
 
 // Len returns the total number of samples without decoding anything (VTB:
 // from the footer). A CSV dataset opened without a cache budget streams from
@@ -218,11 +225,11 @@ func (d *Dataset) Samples(pred colstore.Predicate) ([]trajectory.Sample, Stats, 
 	}
 
 	// First pass: pull what the cache already holds, and collect misses.
-	rows := make([][]trajectory.Sample, len(surviving))
+	batches := make([]*colstore.TrajectoryBatch, len(surviving))
 	var misses []int // indexes into surviving
 	for j, i := range surviving {
 		if cached, ok := d.cache.Get(i); ok {
-			rows[j] = cached
+			batches[j] = cached
 			stats.CacheHits++
 			continue
 		}
@@ -230,18 +237,20 @@ func (d *Dataset) Samples(pred colstore.Predicate) ([]trajectory.Sample, Stats, 
 	}
 	stats.CacheMisses = len(misses)
 
-	// Second pass: decode the misses block-parallel and cache them.
-	if err := d.decodeMisses(surviving, misses, rows); err != nil {
+	// Second pass: decode the misses block-parallel (straight out of the
+	// mmap region on the default open path) and cache the decoded batches.
+	if err := d.decodeMisses(surviving, misses, batches); err != nil {
 		return nil, stats, err
 	}
 
 	// Merge in file order, filtering rows with the exact Scan semantics.
 	var out []trajectory.Sample
 	for j := range surviving {
+		b := batches[j]
 		stats.Scan.BlocksScanned++
-		stats.Scan.RowsScanned += len(rows[j])
-		for _, s := range rows[j] {
-			if pred.MatchTrajectory(s) {
+		stats.Scan.RowsScanned += b.Len()
+		for i := 0; i < b.Len(); i++ {
+			if s := b.Row(i); pred.MatchTrajectory(s) {
 				stats.Scan.RowsMatched++
 				out = append(out, s)
 			}
@@ -251,15 +260,15 @@ func (d *Dataset) Samples(pred colstore.Predicate) ([]trajectory.Sample, Stats, 
 }
 
 // decodeMisses decodes the missing blocks (surviving[j] for j in misses)
-// into rows[j] using up to d.par workers, inserting each into the cache.
-func (d *Dataset) decodeMisses(surviving, misses []int, rows [][]trajectory.Sample) error {
+// into batches[j] using up to d.par workers, inserting each into the cache.
+func (d *Dataset) decodeMisses(surviving, misses []int, batches []*colstore.TrajectoryBatch) error {
 	workers := d.par
 	if workers > len(misses) {
 		workers = len(misses)
 	}
 	if workers <= 1 {
 		for _, j := range misses {
-			if err := d.decodeOne(surviving[j], j, rows); err != nil {
+			if err := d.decodeOne(surviving[j], j, batches); err != nil {
 				return err
 			}
 		}
@@ -273,7 +282,7 @@ func (d *Dataset) decodeMisses(surviving, misses []int, rows [][]trajectory.Samp
 			defer wg.Done()
 			for k := w; k < len(misses); k += workers {
 				j := misses[k]
-				if err := d.decodeOne(surviving[j], j, rows); err != nil {
+				if err := d.decodeOne(surviving[j], j, batches); err != nil {
 					errs[w] = err
 					return
 				}
@@ -289,12 +298,12 @@ func (d *Dataset) decodeMisses(surviving, misses []int, rows [][]trajectory.Samp
 	return nil
 }
 
-func (d *Dataset) decodeOne(block, j int, rows [][]trajectory.Sample) error {
-	decoded, err := d.tr.DecodeBlock(block)
+func (d *Dataset) decodeOne(block, j int, batches []*colstore.TrajectoryBatch) error {
+	decoded, err := d.tr.DecodeBlockBatch(block)
 	if err != nil {
 		return err
 	}
-	rows[j] = decoded
+	batches[j] = decoded
 	d.cache.Put(block, decoded)
 	return nil
 }
@@ -302,6 +311,12 @@ func (d *Dataset) decodeOne(block, j int, rows [][]trajectory.Sample) error {
 // indexFor returns the spatio-temporal index over the samples matching pred,
 // from the index cache when the same predicate (and index options) was
 // served before.
+//
+// On a VTB dataset without a block cache (the one-shot vitaquery
+// configuration) the index is built straight from the batch cursor: blocks
+// decode out of the mmap region one at a time into the index builder, so
+// peak memory beyond the finished index is a single decoded batch — which is
+// what Stats.PeakDecodedBytes reports.
 func (d *Dataset) indexFor(pred colstore.Predicate) (*query.TrajectoryIndex, Stats, error) {
 	key := predKey(pred, d.qopts)
 	if d.idx != nil {
@@ -309,16 +324,45 @@ func (d *Dataset) indexFor(pred colstore.Predicate) (*query.TrajectoryIndex, Sta
 			return ix, Stats{Format: string(d.format), IndexCached: true}, nil
 		}
 	}
-	samples, stats, err := d.Samples(pred)
-	if err != nil {
-		return nil, stats, err
+	var ix *query.TrajectoryIndex
+	var stats Stats
+	var sampleBytes int64 // approximate bytes of the matched rows
+	if d.tr != nil && d.cache == nil {
+		stats = Stats{Format: string(d.format)}
+		b := query.NewIndexBuilder(d.qopts)
+		cur := d.tr.Cursor(pred)
+		for cur.Next() {
+			sampleBytes += cur.Batch().Bytes()
+			b.AddBatch(cur.Batch())
+		}
+		// Stats first so an error still reports the partial scan, like
+		// every other load path.
+		stats.Scan = cur.Stats()
+		// Peak comes from the cursor, which measures each batch before
+		// predicate filtering — the full decoded block is what was
+		// transiently resident, however few rows survived.
+		stats.PeakDecodedBytes = cur.PeakDecodedBytes()
+		// Every scanned block was a decode; keep the misses-equal-decodes
+		// invariant the cached path maintains.
+		stats.CacheMisses = stats.Scan.BlocksScanned
+		if err := cur.Close(); err != nil {
+			return nil, stats, err
+		}
+		ix = b.Build()
+	} else {
+		samples, st, err := d.Samples(pred)
+		if err != nil {
+			return nil, st, err
+		}
+		stats = st
+		sampleBytes = samplesBytes(samples)
+		ix = query.NewTrajectoryIndex(samples, d.qopts)
 	}
-	ix := query.NewTrajectoryIndex(samples, d.qopts)
 	if d.idx != nil {
 		// The index holds the samples in per-object series plus R-tree
 		// nodes and bucket structure over them; 3x the raw sample bytes is
 		// a conservative footprint estimate for the byte bound.
-		d.idx.put(key, ix, 3*samplesBytes(samples))
+		d.idx.put(key, ix, 3*sampleBytes)
 	}
 	return ix, stats, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -73,6 +74,23 @@ func NewServer(ds *Dataset) *Server {
 
 // Handler returns the server's HTTP handler (useful with httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// EnablePprof mounts net/http/pprof's profiling endpoints under
+// /debug/pprof/ on the server's mux (vitaserve's -pprof flag), so a running
+// daemon can be CPU/heap/goroutine-profiled in place:
+//
+//	go tool pprof http://host:port/debug/pprof/profile?seconds=30
+//	go tool pprof http://host:port/debug/pprof/heap
+//
+// Call before Serve. The endpoints expose internals — keep them off (the
+// default) unless the listen address is trusted.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // Serve accepts connections on l until Shutdown. It returns nil after a
 // clean shutdown. Serve may be called at most once per Server.

@@ -37,6 +37,12 @@ type Stats struct {
 	// IndexCached reports that the request was answered from a cached
 	// spatio-temporal index without touching blocks.
 	IndexCached bool `json:"index_cached"`
+	// PeakDecodedBytes is the largest decoded batch held at any instant
+	// while streaming this request's blocks through the index builder
+	// (cursor path only — the one-shot, cache-less configuration). It is
+	// the observable form of the bounded-memory claim: however large the
+	// file, the scan's transient footprint is one block's batch.
+	PeakDecodedBytes int64 `json:"peak_decoded_bytes,omitempty"`
 }
 
 // RangeRequest asks for every sample inside box on floor during [T0, T1].

@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"encoding/csv"
+	"io"
+	"os"
+
+	"vita/internal/colstore"
+)
+
+// TrajectoryCursor is the format-agnostic batch iterator over a trajectory
+// file: pull one decoded column batch at a time instead of receiving a
+// callback per row, so huge scans run in O(block) memory with no per-row
+// call overhead. VTB files iterate the zone-map-pruned block cursor of
+// internal/colstore (memory-mapped by default); CSV files parse rows into
+// batches of the same shape. Rows, order, and stats match
+// ScanTrajectoryFile with the same predicate.
+//
+//	cur, format, err := storage.OpenTrajectoryCursor(path, pred)
+//	if err != nil { ... }
+//	defer cur.Close()
+//	for cur.Next() {
+//		b := cur.Batch()
+//		... b.T, b.X, b.Y, or b.Row(i) ...
+//	}
+//	if err := cur.Err(); err != nil { ... }
+type TrajectoryCursor interface {
+	// Next advances to the next non-empty batch of matching rows.
+	Next() bool
+	// Batch returns the current batch, valid until the next Next or Close.
+	Batch() *colstore.TrajectoryBatch
+	// Err returns the first error the cursor hit, if any.
+	Err() error
+	// Stats returns the scan statistics accumulated so far.
+	Stats() colstore.ScanStats
+	// Close releases the cursor and the underlying file, returning Err.
+	Close() error
+}
+
+// CursorOptions tunes OpenTrajectoryCursorOptions.
+type CursorOptions struct {
+	// DisableMmap forces the pread path for VTB files (CSV never maps).
+	DisableMmap bool
+}
+
+// OpenTrajectoryCursor opens a batch cursor over the trajectory file at
+// path in either format (detected by magic bytes) with default options —
+// VTB files are memory-mapped where the platform allows.
+func OpenTrajectoryCursor(path string, pred colstore.Predicate) (TrajectoryCursor, Format, error) {
+	return OpenTrajectoryCursorOptions(path, pred, CursorOptions{})
+}
+
+// OpenTrajectoryCursorOptions is OpenTrajectoryCursor with explicit options.
+func OpenTrajectoryCursorOptions(path string, pred colstore.Predicate, opts CursorOptions) (TrajectoryCursor, Format, error) {
+	format, err := DetectFormat(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if format == FormatVTB {
+		r, err := colstore.OpenTrajectoryOptions(path, colstore.OpenOptions{DisableMmap: opts.DisableMmap})
+		if err != nil {
+			return nil, format, err
+		}
+		return &vtbTrajectoryCursor{r: r, cur: r.Cursor(pred)}, format, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, format, err
+	}
+	cr := csv.NewReader(f)
+	cr.FieldsPerRecord = 7
+	cr.ReuseRecord = true
+	return &csvTrajectoryCursor{f: f, cr: cr, pred: pred}, format, nil
+}
+
+// vtbTrajectoryCursor couples a colstore cursor to the reader it borrows,
+// closing both together.
+type vtbTrajectoryCursor struct {
+	r   *colstore.TrajectoryReader
+	cur *colstore.TrajectoryCursor
+}
+
+func (c *vtbTrajectoryCursor) Next() bool                       { return c.cur.Next() }
+func (c *vtbTrajectoryCursor) Batch() *colstore.TrajectoryBatch { return c.cur.Batch() }
+func (c *vtbTrajectoryCursor) Err() error                       { return c.cur.Err() }
+func (c *vtbTrajectoryCursor) Stats() colstore.ScanStats        { return c.cur.Stats() }
+func (c *vtbTrajectoryCursor) Close() error {
+	err := c.cur.Close()
+	if cerr := c.r.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// csvCursorBatchSize is how many parsed CSV rows one batch holds — the same
+// order of magnitude as a VTB block, so both formats present comparable
+// batch granularity.
+const csvCursorBatchSize = 4096
+
+// csvTrajectoryCursor adapts the streaming CSV parser to the batch shape.
+// CSV has no block structure, so stats report rows only (like
+// ScanTrajectoryFile on CSV).
+type csvTrajectoryCursor struct {
+	f      *os.File
+	cr     *csv.Reader
+	pred   colstore.Predicate
+	batch  colstore.TrajectoryBatch
+	stats  colstore.ScanStats
+	row    int
+	err    error
+	closed bool
+	done   bool
+}
+
+func (c *csvTrajectoryCursor) Next() bool {
+	if c.err != nil || c.closed || c.done {
+		return false
+	}
+	c.batch.Reset()
+	for c.batch.Len() < csvCursorBatchSize {
+		rec, err := c.cr.Read()
+		if err == io.EOF {
+			c.done = true
+			break
+		}
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.row++
+		if c.row == 1 {
+			continue // header row
+		}
+		s, err := parseTrajectoryRecord(rec)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.stats.RowsScanned++
+		if c.pred.MatchTrajectory(s) {
+			c.stats.RowsMatched++
+			c.batch.Append(s)
+		}
+	}
+	return c.batch.Len() > 0
+}
+
+func (c *csvTrajectoryCursor) Batch() *colstore.TrajectoryBatch { return &c.batch }
+func (c *csvTrajectoryCursor) Err() error                       { return c.err }
+func (c *csvTrajectoryCursor) Stats() colstore.ScanStats        { return c.stats }
+
+func (c *csvTrajectoryCursor) Close() error {
+	if !c.closed {
+		c.closed = true
+		if cerr := c.f.Close(); c.err == nil && cerr != nil {
+			c.err = cerr
+		}
+	}
+	return c.err
+}

@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vita/internal/colstore"
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/trajectory"
+)
+
+func cursorSamples() []trajectory.Sample {
+	var out []trajectory.Sample
+	for t := 0; t < 500; t++ {
+		for o := 0; o < 6; o++ {
+			out = append(out, trajectory.Sample{
+				ObjID: o,
+				Loc:   model.At("hq", o%2, []string{"lobby", "lab", "hall"}[o%3], geom.Pt(float64(t%40), float64(o))),
+				T:     float64(t),
+			})
+		}
+	}
+	return out
+}
+
+// TestOpenTrajectoryCursorBothFormats requires the batch cursor to yield
+// exactly the rows (and stats) of ScanTrajectoryFile for the same predicate,
+// on a VTB file (mmap and pread) and on a CSV file.
+func TestOpenTrajectoryCursorBothFormats(t *testing.T) {
+	samples := cursorSamples()
+	dir := t.TempDir()
+
+	vtbPath := filepath.Join(dir, "trajectory.vtb")
+	vf, err := os.Create(vtbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := colstore.NewTrajectoryWriterOptions(vf, colstore.Options{BlockSize: 256})
+	for _, s := range samples {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	csvPath := filepath.Join(dir, "trajectory.csv")
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrajectoryCSV(cf, samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	preds := map[string]colstore.Predicate{
+		"all":    {},
+		"window": colstore.TimeWindow(100, 250),
+		"object": {HasObj: true, Obj: 2},
+		"empty":  colstore.TimeWindow(1e6, 2e6),
+	}
+	cases := []struct {
+		name       string
+		path       string
+		wantFormat Format
+		opts       CursorOptions
+	}{
+		{"vtb-mmap", vtbPath, FormatVTB, CursorOptions{}},
+		{"vtb-pread", vtbPath, FormatVTB, CursorOptions{DisableMmap: true}},
+		{"csv", csvPath, FormatCSV, CursorOptions{}},
+	}
+	for _, tc := range cases {
+		for name, pred := range preds {
+			t.Run(tc.name+"/"+name, func(t *testing.T) {
+				var want []trajectory.Sample
+				wantStats, _, err := ScanTrajectoryFile(tc.path, pred, func(s trajectory.Sample) {
+					want = append(want, s)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur, format, err := OpenTrajectoryCursorOptions(tc.path, pred, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if format != tc.wantFormat {
+					t.Fatalf("format = %s, want %s", format, tc.wantFormat)
+				}
+				var got []trajectory.Sample
+				for cur.Next() {
+					if cur.Batch().Len() == 0 {
+						t.Fatal("Next returned an empty batch")
+					}
+					got = cur.Batch().AppendTo(got)
+				}
+				if err := cur.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if cur.Stats() != wantStats {
+					t.Errorf("stats differ: cursor %+v, scan %+v", cur.Stats(), wantStats)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("cursor yielded %d rows, scan %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ObjID != want[i].ObjID ||
+						got[i].Loc != want[i].Loc ||
+						math.Float64bits(got[i].T) != math.Float64bits(want[i].T) {
+						t.Fatalf("row %d differs: got %+v, want %+v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOpenTrajectoryCursorMissing covers the error paths: absent file and a
+// directory instead of a file.
+func TestOpenTrajectoryCursorMissing(t *testing.T) {
+	if _, _, err := OpenTrajectoryCursor(filepath.Join(t.TempDir(), "nope.vtb"), colstore.Predicate{}); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+}

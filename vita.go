@@ -210,6 +210,33 @@ func ScanTrajectoryFileParallel(path string, pred ScanPredicate, parallelism int
 	return storage.ScanTrajectoryFileParallel(path, pred, parallelism, emit)
 }
 
+// TrajectoryBatch is one block's worth of decoded samples in column form —
+// what a batch cursor yields. Iterate the column slices directly or view
+// single rows with Row.
+type TrajectoryBatch = colstore.TrajectoryBatch
+
+// TrajectoryCursor pulls decoded column batches from a trajectory file —
+// the allocation-light alternative to per-row callbacks for huge scans.
+// Rows, order, and stats match ScanTrajectoryFile with the same predicate.
+type TrajectoryCursor = storage.TrajectoryCursor
+
+// OpenTrajectoryCursor opens a batch cursor over a trajectory file in
+// either storage format (detected by magic bytes). VTB files are
+// memory-mapped where the platform allows, so block decode reads straight
+// from the OS page cache; scans run in O(one block) memory:
+//
+//	cur, _, err := vita.OpenTrajectoryCursor(path, vita.ScanPredicate{})
+//	if err != nil { ... }
+//	defer cur.Close()
+//	for cur.Next() {
+//		b := cur.Batch()
+//		... b.T, b.X, b.Y, or b.Row(i) ...
+//	}
+//	if err := cur.Err(); err != nil { ... }
+func OpenTrajectoryCursor(path string, pred ScanPredicate) (TrajectoryCursor, StorageFormat, error) {
+	return storage.OpenTrajectoryCursor(path, pred)
+}
+
 // WriteTrajectoryVTB persists samples in the VTB columnar format —
 // lossless, block-compressed, and zone-map indexed for pruned scans.
 func WriteTrajectoryVTB(w io.Writer, samples []Sample) error {

@@ -244,3 +244,57 @@ func TestVTBExports(t *testing.T) {
 		}
 	}
 }
+
+func TestTrajectoryCursorExport(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trajectory.Duration = 30
+	cfg.Objects.Count = 3
+	cfg.Objects.MinLifespan = 20
+	cfg.Objects.MaxLifespan = 30
+	cfg.Positioning = PositioningConfig{}
+
+	dir := t.TempDir()
+	sink, err := NewDirSink(dir, StorageVTB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateTo(cfg, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "trajectory.vtb")
+	pred := ScanPredicate{HasTime: true, T0: 5, T1: 25}
+	var want []Sample
+	wantStats, _, err := ScanTrajectoryFile(path, pred, func(s Sample) { want = append(want, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, format, err := OpenTrajectoryCursor(path, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != StorageVTB {
+		t.Fatalf("cursor format = %s, want vtb", format)
+	}
+	var got []Sample
+	for cur.Next() {
+		got = cur.Batch().AppendTo(got)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Stats() != wantStats {
+		t.Fatalf("cursor stats %+v, scan stats %+v", cur.Stats(), wantStats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor yielded %d rows, scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
