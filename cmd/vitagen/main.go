@@ -9,6 +9,7 @@
 //	vitagen -config cfg.json -out outdir [-render] [-snapshot 60]
 //	vitagen -config cfg.json -format vtb    # columnar binary instead of CSV
 //	vitagen -config cfg.json -parallelism 8 # shard generation over 8 workers
+//	vitagen -format vtb -segment-mb 64      # live segment log instead of flat files
 //	vitagen -default > cfg.json             # print the default config
 //
 // Generation is sharded by object across a worker pool (-parallelism, or the
@@ -33,6 +34,7 @@ import (
 
 	"vita/internal/core"
 	"vita/internal/render"
+	"vita/internal/seglog"
 	"vita/internal/storage"
 )
 
@@ -52,6 +54,8 @@ func run() error {
 		printDef   = flag.Bool("default", false, "print the default configuration as JSON and exit")
 		parallel   = flag.Int("parallelism", -1, "generation worker count (0 = all cores; -1 = value from config; output is identical for any setting)")
 		formatStr  = flag.String("format", "csv", "bulk output format: csv | vtb")
+		segMB      = flag.Float64("segment-mb", 0, "write bulk outputs as a live segment log, rolling segments at this many MiB (vtb only; 0 = flat files)")
+		segRows    = flag.Int("segment-rows", 0, "additionally roll segments after this many rows (implies a segment log; vtb only)")
 	)
 	flag.Parse()
 
@@ -90,8 +94,24 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sink, err := core.NewDirSink(*outDir, format)
-	if err != nil {
+	segmented := *segMB > 0 || *segRows > 0
+	if segmented && format != storage.FormatVTB {
+		return fmt.Errorf("-segment-mb/-segment-rows require -format vtb (segment logs have no csv form)")
+	}
+	var sink interface {
+		core.Sink
+		Discard() error
+	}
+	var segSink *core.SegmentedDirSink
+	if segmented {
+		if segSink, err = core.NewSegmentedDirSink(*outDir, seglog.WriterOptions{
+			MaxSegmentBytes: int64(*segMB * (1 << 20)),
+			MaxSegmentRows:  *segRows,
+		}); err != nil {
+			return err
+		}
+		sink = segSink
+	} else if sink, err = core.NewDirSink(*outDir, format); err != nil {
 		return err
 	}
 	ds, err := p.RunTo(sink)
@@ -129,12 +149,17 @@ func run() error {
 		}
 	}
 
-	for _, name := range []string{"trajectory" + format.Ext(), "rssi" + format.Ext()} {
-		if st, err := os.Stat(filepath.Join(*outDir, name)); err == nil {
-			fmt.Printf("wrote %-14s %d bytes\n", name, st.Size())
+	if segmented {
+		fmt.Printf("wrote %d trajectory + %d rssi segments to %s\n",
+			segSink.TrajectorySegments(), segSink.RSSISegments(), filepath.Join(*outDir, "seglog"))
+	} else {
+		for _, name := range []string{"trajectory" + format.Ext(), "rssi" + format.Ext()} {
+			if st, err := os.Stat(filepath.Join(*outDir, name)); err == nil {
+				fmt.Printf("wrote %-14s %d bytes\n", name, st.Size())
+			}
 		}
+		fmt.Printf("wrote %s files to %s\n", strings.ToUpper(string(format)), *outDir)
 	}
-	fmt.Printf("wrote %s files to %s\n", strings.ToUpper(string(format)), *outDir)
 
 	if *doRender || *snapshotAt >= 0 {
 		at := *snapshotAt

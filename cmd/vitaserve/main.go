@@ -20,6 +20,14 @@
 // -pprof mounts the standard profiling endpoints for profiling the daemon in
 // place.
 //
+// Live datasets: when -data holds a segment log (vitagen -segment-mb/-rows
+// output, or the log directory itself), the daemon polls the manifest every
+// -watch interval and folds in new segments without restarting — a dataset
+// still being generated is queryable mid-run. -compact additionally runs the
+// background compactor in-process, merging accumulated segments into one
+// re-blocked in global time order; run it only when no other process mutates
+// the log (vitagen finished or writing elsewhere).
+//
 // Responses are JSON and embed per-request scan stats (blocks pruned and
 // decoded, cache hits and misses); /statsz aggregates them over the daemon's
 // lifetime. `vitaquery -server URL` sends the same operators here and prints
@@ -39,6 +47,7 @@ import (
 	"time"
 
 	"vita/internal/query"
+	"vita/internal/seglog"
 	"vita/internal/serve"
 )
 
@@ -61,15 +70,21 @@ func run() error {
 	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain timeout on shutdown")
 	useMmap := flag.Bool("mmap", true, "memory-map the VTB file (false = plain file reads)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes internals; keep off on untrusted networks)")
+	watch := flag.Duration("watch", time.Second, "manifest poll interval for live segmented datasets (0 disables refresh)")
+	compactEvery := flag.Duration("compact", 0, "run in-process compaction of a segmented dataset at this interval (0 disables; obey the single-mutator rule: no other writer/compactor process)")
 	flag.Parse()
 
 	cfg := serve.Config{
-		Query:        query.Options{BucketWidth: *bucket, MaxGap: *maxGap},
-		Parallelism:  *parallelism,
-		CacheBytes:   int64(*cacheMB) << 20,
-		IndexEntries: *indexEntries,
-		IndexBytes:   int64(*indexMB) << 20,
-		DisableMmap:  !*useMmap,
+		Query:         query.Options{BucketWidth: *bucket, MaxGap: *maxGap},
+		Parallelism:   *parallelism,
+		CacheBytes:    int64(*cacheMB) << 20,
+		IndexEntries:  *indexEntries,
+		IndexBytes:    int64(*indexMB) << 20,
+		DisableMmap:   !*useMmap,
+		WatchInterval: *watch,
+	}
+	if *watch == 0 {
+		cfg.WatchInterval = -1
 	}
 	if *cacheMB == 0 {
 		cfg.CacheBytes = -1
@@ -99,6 +114,27 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "vitaserve: serving %s (%s via %s, %d samples, %d blocks) on http://%s\n",
 		ds.Path(), ds.Format(), access, ds.Len(), ds.Blocks(), l.Addr())
+	if n := ds.Segments(); n > 0 {
+		fmt.Fprintf(os.Stderr, "vitaserve: live dataset: %d segments at generation %d, refreshing every %s\n",
+			n, ds.Generation(), *watch)
+	}
+
+	compactCtx, stopCompact := context.WithCancel(context.Background())
+	defer stopCompact()
+	if *compactEvery > 0 {
+		log := ds.SegLog()
+		if log == nil {
+			return fmt.Errorf("-compact set but %s is not a segmented dataset", *dataDir)
+		}
+		c := seglog.NewCompactor(log, seglog.CompactorOptions{
+			DisableMmap: !*useMmap,
+			OnError: func(err error) {
+				fmt.Fprintln(os.Stderr, "vitaserve: compaction:", err)
+			},
+		})
+		go c.Run(compactCtx, *compactEvery)
+		fmt.Fprintf(os.Stderr, "vitaserve: compacting every %s\n", *compactEvery)
+	}
 
 	srv := serve.NewServer(ds)
 	if *pprofOn {
@@ -117,5 +153,10 @@ func run() error {
 		st.UptimeSeconds, st.Requests["range"], st.Requests["knn"], st.Requests["density"],
 		st.Requests["traj"], st.Requests["info"],
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.IndexHits)
+	if st.Segments > 0 {
+		fmt.Fprintf(os.Stderr, "vitaserve: live dataset: %d segments, generation %d, %d compactions, %d refreshes, %d block + %d index invalidations\n",
+			st.Segments, st.Generation, st.Compactions, st.Refreshes,
+			st.BlockInvalidations, st.IndexInvalidations)
+	}
 	return nil
 }

@@ -153,6 +153,15 @@ func (b *RSSIBatch) Reset() {
 	b.T = b.T[:0]
 }
 
+// Append appends one measurement's fields to the columns (the write-side
+// counterpart of Row; used by the CSV batch adapter in internal/storage).
+func (b *RSSIBatch) Append(m rssi.Measurement) {
+	b.ObjID = append(b.ObjID, int64(m.ObjID))
+	b.DeviceID = append(b.DeviceID, m.DeviceID)
+	b.RSSI = append(b.RSSI, m.RSSI)
+	b.T = append(b.T, m.T)
+}
+
 // AppendTo appends every row to dst as Measurements and returns it.
 func (b *RSSIBatch) AppendTo(dst []rssi.Measurement) []rssi.Measurement {
 	for i := 0; i < b.Len(); i++ {

@@ -1,0 +1,11 @@
+//go:build linux
+
+package colstore
+
+import "syscall"
+
+// madviseSequential hints that data will be read once, front to back, so the
+// kernel can read ahead and drop pages behind the scan (OpenOptions.Sequential).
+func madviseSequential(data []byte) error {
+	return syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package colstore
+
+// madviseSequential is a no-op where the stdlib has no Madvise (darwin's
+// syscall package omits it) or where mmap itself is unavailable; the scan
+// still works, the kernel just gets no read-ahead hint.
+func madviseSequential(data []byte) error { return nil }

@@ -41,6 +41,13 @@ type OpenOptions struct {
 	// DisableMmap forces the io.ReaderAt path even where mmap is available
 	// — the escape hatch behind the CLIs' -mmap=false flags.
 	DisableMmap bool
+	// Sequential declares the access pattern up front: the whole file will
+	// be read once, front to back (a compaction merge, a cold full scan).
+	// On mmap-backed readers it issues madvise(MADV_SEQUENTIAL) so the
+	// kernel reads ahead aggressively and drops pages behind the scan
+	// instead of letting a one-shot pass evict the hot working set. A hint
+	// only: results are identical with or without it.
+	Sequential bool
 }
 
 func openReader(r io.ReaderAt, size int64, want Kind) (*reader, error) {
@@ -121,6 +128,10 @@ func openPath(path string, want Kind, opts OpenOptions) (*reader, error) {
 	}
 	if !opts.DisableMmap {
 		if data, unmap, err := mmapFile(f, size); err == nil {
+			if opts.Sequential {
+				// Best effort; a failed hint changes nothing observable.
+				_ = madviseSequential(data)
+			}
 			rd, err := openReader(bytes.NewReader(data), size, want)
 			if err != nil {
 				unmap()

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+
+	"vita/internal/colstore"
+	"vita/internal/positioning"
+	"vita/internal/rssi"
+	"vita/internal/seglog"
+	"vita/internal/storage"
+	"vita/internal/trajectory"
+)
+
+// SegmentedDirSink writes a run's bulk outputs as live segment logs instead
+// of flat files: dir/seglog/trajectory and dir/seglog/rssi each hold rolling
+// VTB segments under a manifest (internal/seglog), so a query daemon can
+// serve the dataset while generation is still appending — every sealed
+// segment is immediately visible to manifest readers, and a crash costs at
+// most the segment being filled. Derived tables (estimates, proximity) still
+// land as CSV in dir at Close, exactly like DirSink. The bulk format is
+// necessarily VTB; segment logs have no CSV form.
+type SegmentedDirSink struct {
+	dir  string
+	traj *seglog.Writer[trajectory.Sample]
+	rssi *seglog.Writer[rssi.Measurement]
+
+	estimates []positioning.Estimate
+	proximity []positioning.ProximityRecord
+}
+
+// TrajectoryLogDir returns the trajectory segment log directory under a
+// dataset directory — the layout contract between SegmentedDirSink and
+// serve.Open.
+func TrajectoryLogDir(dir string) string { return filepath.Join(dir, "seglog", "trajectory") }
+
+// RSSILogDir returns the RSSI segment log directory under a dataset
+// directory.
+func RSSILogDir(dir string) string { return filepath.Join(dir, "seglog", "rssi") }
+
+// NewSegmentedDirSink creates (or resumes) the segment logs under dir and
+// opens rolling writers for the bulk outputs. opts applies to both logs —
+// roll thresholds and block encoding.
+func NewSegmentedDirSink(dir string, opts seglog.WriterOptions) (*SegmentedDirSink, error) {
+	trajLog, err := seglog.OpenOrCreate(TrajectoryLogDir(dir), colstore.KindTrajectory)
+	if err != nil {
+		return nil, err
+	}
+	rssiLog, err := seglog.OpenOrCreate(RSSILogDir(dir), colstore.KindRSSI)
+	if err != nil {
+		return nil, err
+	}
+	s := &SegmentedDirSink{dir: dir}
+	if s.traj, err = seglog.NewTrajectoryWriter(trajLog, opts); err != nil {
+		return nil, err
+	}
+	if s.rssi, err = seglog.NewRSSIWriter(rssiLog, opts); err != nil {
+		s.traj.Abort()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the dataset directory.
+func (s *SegmentedDirSink) Dir() string { return s.dir }
+
+// Format returns the bulk output format — always VTB for segment logs.
+func (s *SegmentedDirSink) Format() storage.Format { return storage.FormatVTB }
+
+// TrajectorySegments returns how many trajectory segments have sealed.
+func (s *SegmentedDirSink) TrajectorySegments() int { return s.traj.Segments() }
+
+// RSSISegments returns how many RSSI segments have sealed.
+func (s *SegmentedDirSink) RSSISegments() int { return s.rssi.Segments() }
+
+// Trajectory implements Sink.
+func (s *SegmentedDirSink) Trajectory(sm trajectory.Sample) error { return s.traj.Write(sm) }
+
+// RSSI implements Sink.
+func (s *SegmentedDirSink) RSSI(m rssi.Measurement) error { return s.rssi.Write(m) }
+
+// Estimates implements Sink; the table is written at Close, and only when
+// non-empty.
+func (s *SegmentedDirSink) Estimates(es []positioning.Estimate) error {
+	s.estimates = es
+	return nil
+}
+
+// Proximity implements Sink; the table is written at Close, and only when
+// non-empty.
+func (s *SegmentedDirSink) Proximity(rs []positioning.ProximityRecord) error {
+	s.proximity = rs
+	return nil
+}
+
+// Close seals the final segments and materializes the derived CSV tables.
+func (s *SegmentedDirSink) Close() error {
+	var errs []error
+	errs = append(errs, s.traj.Close(), s.rssi.Close())
+	if len(s.estimates) > 0 {
+		errs = append(errs, writeFileWith(filepath.Join(s.dir, "estimates.csv"), func(f *os.File) error {
+			return storage.WriteEstimateCSV(f, s.estimates)
+		}))
+	}
+	if len(s.proximity) > 0 {
+		errs = append(errs, writeFileWith(filepath.Join(s.dir, "proximity.csv"), func(f *os.File) error {
+			return storage.WriteProximityCSV(f, s.proximity)
+		}))
+	}
+	return errors.Join(errs...)
+}
+
+// Discard abandons a failed run the segment-log way: the segments being
+// filled are dropped, the sealed prefix stays — the logs remain consistent,
+// holding exactly the data that committed before the failure. Call it
+// instead of Close, never after.
+func (s *SegmentedDirSink) Discard() error {
+	return errors.Join(s.traj.Abort(), s.rssi.Abort())
+}

@@ -8,26 +8,36 @@ import (
 	"vita/internal/trajectory"
 )
 
+// blockKey names one decoded block: which segment it came from and its block
+// index within that segment's file. Segment IDs are never reused (the log
+// reserves them monotonically; single-file datasets are segment 0 forever),
+// so a key can never alias a block from a different file — which is what
+// makes invalidation after compaction precise: evict the dead segment IDs,
+// keep everything else warm.
+type blockKey struct {
+	seg   uint64
+	block int
+}
+
 // BlockCache is a size-bounded LRU cache of decoded VTB blocks, keyed by
-// block index within the owning dataset's trajectory file. It holds fully
-// decoded, unfiltered column batches — the shape block decode produces, and
-// ~25% smaller resident than the equivalent []Sample — so one cached decode
-// serves every predicate; callers filter rows with
-// colstore.Predicate.MatchTrajectory over Batch.Row. Byte accounting is the
-// decoded-batch footprint (colstore.TrajectoryBatch.Bytes). Safe for
-// concurrent use.
+// (segment ID, block index). It holds fully decoded, unfiltered column
+// batches — the shape block decode produces, and ~25% smaller resident than
+// the equivalent []Sample — so one cached decode serves every predicate;
+// callers filter rows with colstore.Predicate.MatchTrajectory over Batch.Row.
+// Byte accounting is the decoded-batch footprint
+// (colstore.TrajectoryBatch.Bytes). Safe for concurrent use.
 type BlockCache struct {
 	mu       sync.Mutex
 	maxBytes int64
 	bytes    int64
 	ll       *list.List // front = most recently used
-	entries  map[int]*list.Element
+	entries  map[blockKey]*list.Element
 
 	hits, misses, evictions int64
 }
 
 type cacheEntry struct {
-	block int
+	key   blockKey
 	batch *colstore.TrajectoryBatch
 	bytes int64
 }
@@ -39,16 +49,16 @@ func NewBlockCache(maxBytes int64) *BlockCache {
 	return &BlockCache{
 		maxBytes: maxBytes,
 		ll:       list.New(),
-		entries:  make(map[int]*list.Element),
+		entries:  make(map[blockKey]*list.Element),
 	}
 }
 
-// Get returns the cached batch for a block and marks it most recently used.
-// The returned batch is shared — callers must not modify it.
-func (c *BlockCache) Get(block int) (*colstore.TrajectoryBatch, bool) {
+// Get returns the cached batch for a segment's block and marks it most
+// recently used. The returned batch is shared — callers must not modify it.
+func (c *BlockCache) Get(seg uint64, block int) (*colstore.TrajectoryBatch, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[block]
+	el, ok := c.entries[blockKey{seg, block}]
 	if !ok {
 		c.misses++
 		return nil, false
@@ -58,23 +68,24 @@ func (c *BlockCache) Get(block int) (*colstore.TrajectoryBatch, bool) {
 	return el.Value.(*cacheEntry).batch, true
 }
 
-// Put inserts the decoded batch for a block, evicting least-recently-used
-// entries until the byte budget holds. A block larger than the whole budget
-// is not cached at all.
-func (c *BlockCache) Put(block int, batch *colstore.TrajectoryBatch) {
+// Put inserts the decoded batch for a segment's block, evicting
+// least-recently-used entries until the byte budget holds. A block larger
+// than the whole budget is not cached at all.
+func (c *BlockCache) Put(seg uint64, block int, batch *colstore.TrajectoryBatch) {
 	size := batch.Bytes()
+	key := blockKey{seg, block}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if size > c.maxBytes {
 		return
 	}
-	if el, ok := c.entries[block]; ok {
+	if el, ok := c.entries[key]; ok {
 		c.bytes += size - el.Value.(*cacheEntry).bytes
 		el.Value.(*cacheEntry).batch = batch
 		el.Value.(*cacheEntry).bytes = size
 		c.ll.MoveToFront(el)
 	} else {
-		c.entries[block] = c.ll.PushFront(&cacheEntry{block: block, batch: batch, bytes: size})
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, batch: batch, bytes: size})
 		c.bytes += size
 	}
 	for c.bytes > c.maxBytes {
@@ -84,10 +95,39 @@ func (c *BlockCache) Put(block int, batch *colstore.TrajectoryBatch) {
 		}
 		e := back.Value.(*cacheEntry)
 		c.ll.Remove(back)
-		delete(c.entries, e.block)
+		delete(c.entries, e.key)
 		c.bytes -= e.bytes
 		c.evictions++
 	}
+}
+
+// EvictSegments drops every cached block belonging to one of the given
+// segment IDs — called when a manifest refresh retires segments (compaction
+// superseded them) — and returns how many entries were dropped. Blocks of
+// surviving segments stay warm; these drops are invalidations, not budget
+// pressure, so the evictions counter is untouched.
+func (c *BlockCache) EvictSegments(dead []uint64) int64 {
+	if len(dead) == 0 {
+		return 0
+	}
+	gone := make(map[uint64]bool, len(dead))
+	for _, id := range dead {
+		gone[id] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dropped int64
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); gone[e.key.seg] {
+			c.ll.Remove(el)
+			delete(c.entries, e.key)
+			c.bytes -= e.bytes
+			dropped++
+		}
+		el = next
+	}
+	return dropped
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness and size.
@@ -114,14 +154,14 @@ func (c *BlockCache) Stats() CacheStats {
 	}
 }
 
-// keysMRU returns the cached block indexes from most to least recently used
+// keysMRU returns the cached block keys from most to least recently used
 // (test hook for eviction-order assertions).
-func (c *BlockCache) keysMRU() []int {
+func (c *BlockCache) keysMRU() []blockKey {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]int, 0, c.ll.Len())
+	out := make([]blockKey, 0, c.ll.Len())
 	for el := c.ll.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*cacheEntry).block)
+		out = append(out, el.Value.(*cacheEntry).key)
 	}
 	return out
 }

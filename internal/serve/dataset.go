@@ -8,18 +8,25 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"vita/internal/colstore"
 	"vita/internal/query"
+	"vita/internal/seglog"
 	"vita/internal/storage"
 	"vita/internal/trajectory"
 )
+
+// errClosed is returned by queries racing Close.
+var errClosed = errors.New("serve: dataset closed")
 
 // Config tunes an opened dataset. The zero value selects the defaults.
 type Config struct {
@@ -43,6 +50,11 @@ type Config struct {
 	// DisableMmap forces the pread path for VTB files instead of the
 	// default memory-mapped reader — the -mmap=false escape hatch.
 	DisableMmap bool
+	// WatchInterval is how often a segmented dataset polls its manifest for
+	// new generations (default 1s; negative disables the watcher, leaving
+	// refreshes to explicit Refresh calls). Ignored for single-file and CSV
+	// datasets, which never change underneath the server.
+	WatchInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -58,32 +70,78 @@ func (c Config) withDefaults() Config {
 	if c.IndexBytes == 0 {
 		c.IndexBytes = 256 << 20
 	}
+	if c.WatchInterval == 0 {
+		c.WatchInterval = time.Second
+	}
 	return c
 }
 
-// Dataset is an opened trajectory dataset ready to answer queries. For VTB
-// files the footer (zone maps) stays resident and decoded blocks are cached;
-// for CSV files the rows themselves stay resident (the format has no block
-// structure to cache). Safe for concurrent use.
+// Dataset is an opened trajectory dataset ready to answer queries. VTB data
+// is served through a segment set (see segments.go): a single trajectory.vtb
+// is one static segment, a seglog directory is however many segments its
+// manifest currently lists, with a watcher folding in new generations as a
+// writer appends or a compactor merges. Zone maps stay resident per segment
+// and decoded blocks are cached across refreshes; CSV files keep the rows
+// themselves resident (the format has no block structure to cache). Safe for
+// concurrent use.
 type Dataset struct {
-	dir    string
-	path   string
-	format storage.Format
+	dir         string
+	path        string
+	format      storage.Format
+	disableMmap bool
 
-	tr       *colstore.TrajectoryReader // VTB only
-	zones    []colstore.ZoneMap         // VTB only
-	resident []trajectory.Sample        // CSV only
+	log *seglog.Log // segmented VTB only
+
+	mu  sync.Mutex      // guards cur and man
+	cur *segmentSet     // VTB only; nil after Close
+	man seglog.Manifest // last adopted manifest (segmented only)
+
+	resident []trajectory.Sample // CSV only
 
 	cache *BlockCache
 	idx   *indexCache
 	par   int
 	qopts query.Options
+
+	refreshMu  sync.Mutex // serializes Refresh
+	refreshes  atomic.Int64
+	blockInval atomic.Int64
+	idxInval   atomic.Int64
+
+	stopWatch chan struct{}
+	watchWG   sync.WaitGroup
 }
 
-// Open opens the trajectory data in dir — trajectory.vtb (preferred) or
-// trajectory.csv, detected by magic bytes — and prepares it for serving.
+// Open opens the trajectory data in dir and prepares it for serving. A
+// segment log — dir itself, or the pipeline's seglog/trajectory subdirectory
+// — takes priority, since a log next to a flat file means the dataset is
+// live; otherwise trajectory.vtb (preferred) or trajectory.csv, detected by
+// magic bytes.
 func Open(dir string, cfg Config) (*Dataset, error) {
 	cfg = cfg.withDefaults()
+	d := &Dataset{
+		dir:         dir,
+		par:         cfg.Parallelism,
+		qopts:       cfg.Query,
+		disableMmap: cfg.DisableMmap,
+	}
+	if cfg.CacheBytes > 0 {
+		d.cache = NewBlockCache(cfg.CacheBytes)
+	}
+	if cfg.IndexEntries > 0 {
+		d.idx = newIndexCache(cfg.IndexEntries, cfg.IndexBytes)
+	}
+
+	logDir := ""
+	if seglog.IsLog(dir) {
+		logDir = dir
+	} else if p := filepath.Join(dir, "seglog", "trajectory"); seglog.IsLog(p) {
+		logDir = p
+	}
+	if logDir != "" {
+		return openSegmented(d, logDir, cfg)
+	}
+
 	var path string
 	for _, name := range []string{"trajectory.vtb", "trajectory.csv"} {
 		p := filepath.Join(dir, name)
@@ -93,32 +151,22 @@ func Open(dir string, cfg Config) (*Dataset, error) {
 		}
 	}
 	if path == "" {
-		return nil, fmt.Errorf("serve: no trajectory.vtb or trajectory.csv in %s", dir)
+		return nil, fmt.Errorf("serve: no segment log, trajectory.vtb, or trajectory.csv in %s", dir)
 	}
 	format, err := storage.DetectFormat(path)
 	if err != nil {
 		return nil, err
 	}
-	d := &Dataset{
-		dir:    dir,
-		path:   path,
-		format: format,
-		par:    cfg.Parallelism,
-		qopts:  cfg.Query,
-	}
-	if cfg.CacheBytes > 0 {
-		d.cache = NewBlockCache(cfg.CacheBytes)
-	}
-	if cfg.IndexEntries > 0 {
-		d.idx = newIndexCache(cfg.IndexEntries, cfg.IndexBytes)
-	}
+	d.path = path
+	d.format = format
 	if format == storage.FormatVTB {
 		tr, err := colstore.OpenTrajectoryOptions(path, colstore.OpenOptions{DisableMmap: cfg.DisableMmap})
 		if err != nil {
 			return nil, err
 		}
-		d.tr = tr
-		d.zones = tr.Blocks()
+		sg := &segReader{id: 0, tr: tr, zones: tr.Blocks()}
+		sg.refs.Store(1)
+		d.cur = newSegmentSet(0, []*segReader{sg})
 	} else if d.cache != nil {
 		// CSV has no block structure to cache, so "warm" means the rows
 		// themselves stay resident. Without a cache budget (one-shot CLI
@@ -132,10 +180,48 @@ func Open(dir string, cfg Config) (*Dataset, error) {
 	return d, nil
 }
 
-// Close releases the underlying file.
+// openSegmented finishes Open for a segment-log dataset: open the current
+// generation's readers and start the manifest watcher.
+func openSegmented(d *Dataset, logDir string, cfg Config) (*Dataset, error) {
+	l, err := seglog.Open(logDir)
+	if err != nil {
+		return nil, err
+	}
+	if l.Kind() != colstore.KindTrajectory {
+		return nil, fmt.Errorf("serve: %s is a %s log, want trajectory", logDir, l.Kind())
+	}
+	d.log = l
+	d.path = filepath.Join(logDir, seglog.ManifestName)
+	d.format = storage.FormatVTB
+	man := l.Snapshot()
+	set, err := d.buildSet(man, nil)
+	if err != nil {
+		return nil, err
+	}
+	d.cur = set
+	d.man = man
+	if cfg.WatchInterval > 0 {
+		d.stopWatch = make(chan struct{})
+		d.watchWG.Add(1)
+		go d.watch(cfg.WatchInterval)
+	}
+	return d, nil
+}
+
+// Close stops the manifest watcher and releases the dataset's hold on its
+// segment readers; readers of in-flight queries close as those queries drain.
 func (d *Dataset) Close() error {
-	if d.tr != nil {
-		return d.tr.Close()
+	if d.stopWatch != nil {
+		close(d.stopWatch)
+		d.watchWG.Wait()
+		d.stopWatch = nil
+	}
+	d.mu.Lock()
+	set := d.cur
+	d.cur = nil
+	d.mu.Unlock()
+	if set != nil {
+		set.release()
 	}
 	return nil
 }
@@ -149,22 +235,106 @@ func (d *Dataset) Path() string { return d.path }
 // Format returns the detected storage format.
 func (d *Dataset) Format() storage.Format { return d.format }
 
-// Blocks returns the number of blocks in a VTB dataset (0 for CSV).
-func (d *Dataset) Blocks() int { return len(d.zones) }
+// Blocks returns the number of blocks across a VTB dataset's live segments
+// (0 for CSV).
+func (d *Dataset) Blocks() int {
+	set := d.acquireSet()
+	if set == nil {
+		return 0
+	}
+	defer set.release()
+	n := 0
+	for _, sg := range set.segs {
+		n += len(sg.zones)
+	}
+	return n
+}
 
-// Mmapped reports whether a VTB dataset decodes blocks from a memory-mapped
-// region (always false for CSV datasets and on the pread fallback).
-func (d *Dataset) Mmapped() bool { return d.tr != nil && d.tr.Mmapped() }
+// Mmapped reports whether a VTB dataset decodes blocks from memory-mapped
+// regions — true when every live segment mapped (always false for CSV
+// datasets and on the pread fallback).
+func (d *Dataset) Mmapped() bool {
+	set := d.acquireSet()
+	if set == nil {
+		return false
+	}
+	defer set.release()
+	if len(set.segs) == 0 {
+		return false
+	}
+	for _, sg := range set.segs {
+		if !sg.tr.Mmapped() {
+			return false
+		}
+	}
+	return true
+}
 
 // Len returns the total number of samples without decoding anything (VTB:
-// from the footer). A CSV dataset opened without a cache budget streams from
+// from the footers). A CSV dataset opened without a cache budget streams from
 // disk and has no resident count; Len then returns 0.
 func (d *Dataset) Len() int {
-	if d.tr != nil {
-		return d.tr.Len()
+	if d.format == storage.FormatCSV {
+		return len(d.resident)
 	}
-	return len(d.resident)
+	set := d.acquireSet()
+	if set == nil {
+		return 0
+	}
+	defer set.release()
+	n := 0
+	for _, sg := range set.segs {
+		n += sg.tr.Len()
+	}
+	return n
 }
+
+// Segments returns how many live segments the dataset currently serves (0
+// for single-file and CSV datasets, which are not segmented).
+func (d *Dataset) Segments() int {
+	if d.log == nil {
+		return 0
+	}
+	set := d.acquireSet()
+	if set == nil {
+		return 0
+	}
+	defer set.release()
+	return len(set.segs)
+}
+
+// Generation returns the manifest generation being served (0 when not
+// segmented).
+func (d *Dataset) Generation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil || d.cur == nil {
+		return 0
+	}
+	return d.cur.gen
+}
+
+// Compactions returns how many compactions the served manifest records.
+func (d *Dataset) Compactions() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.man.Compactions
+}
+
+// Refreshes returns how many manifest generations the dataset has folded in.
+func (d *Dataset) Refreshes() int64 { return d.refreshes.Load() }
+
+// BlockInvalidations returns how many cached blocks refreshes have dropped
+// because their segment left the live set.
+func (d *Dataset) BlockInvalidations() int64 { return d.blockInval.Load() }
+
+// IndexInvalidations returns how many cached indexes refreshes have dropped.
+func (d *Dataset) IndexInvalidations() int64 { return d.idxInval.Load() }
+
+// SegLog returns the underlying segment log, or nil when the dataset is a
+// single file. vitaserve uses it to run an in-process compactor under the
+// single-mutator rule.
+func (d *Dataset) SegLog() *seglog.Log { return d.log }
 
 // CacheStats returns the block-cache counters (zero value when caching is
 // disabled or the dataset is CSV).
@@ -175,15 +345,17 @@ func (d *Dataset) CacheStats() CacheStats {
 	return d.cache.Stats()
 }
 
-// Samples returns the samples matching pred in file order, along with what
-// the load cost. VTB datasets prune via zone maps, serve hot blocks from the
-// cache, and decode misses block-parallel; CSV datasets filter the resident
-// rows. With caching disabled both formats stream instead — one block (or
-// CSV row) in flight, nothing unfiltered retained — so one-shot callers like
-// vitaquery keep the memory profile of a plain scan.
+// Samples returns the samples matching pred in global time order (the order
+// a single file holding the same rows carries), along with what the load
+// cost. VTB datasets prune via zone maps per segment, serve hot blocks from
+// the cache, decode misses block-parallel, and merge multi-segment results;
+// CSV datasets filter the resident rows. With caching disabled both formats
+// stream instead — one block (or CSV row) in flight per segment, nothing
+// unfiltered retained — so one-shot callers like vitaquery keep the memory
+// profile of a plain scan.
 func (d *Dataset) Samples(pred colstore.Predicate) ([]trajectory.Sample, Stats, error) {
-	stats := Stats{Format: string(d.format)}
-	if d.tr == nil {
+	if d.format == storage.FormatCSV {
+		stats := Stats{Format: string(d.format)}
 		var out []trajectory.Sample
 		if d.resident == nil {
 			scan, _, err := storage.ScanTrajectoryFile(d.path, pred, func(s trajectory.Sample) {
@@ -201,74 +373,126 @@ func (d *Dataset) Samples(pred colstore.Predicate) ([]trajectory.Sample, Stats, 
 		}
 		return out, stats, nil
 	}
+	set := d.acquireSet()
+	if set == nil {
+		return nil, Stats{Format: string(d.format)}, errClosed
+	}
+	defer set.release()
+	return d.samplesFromSet(set, pred)
+}
+
+// samplesFromSet is the VTB load path over one pinned segment set, so a
+// caller building an index sees exactly the generation its cache key names.
+func (d *Dataset) samplesFromSet(set *segmentSet, pred colstore.Predicate) ([]trajectory.Sample, Stats, error) {
+	stats := Stats{Format: string(d.format)}
+	if d.log != nil {
+		stats.Segments = len(set.segs)
+	}
 
 	if d.cache == nil {
 		var out []trajectory.Sample
-		scan, err := d.tr.ScanParallel(pred, d.par, func(s trajectory.Sample) {
-			out = append(out, s)
-		})
-		stats.Scan = scan
-		// Every scanned block was a decode; keep the misses-equal-decodes
-		// invariant the cached path maintains.
-		stats.CacheMisses = scan.BlocksScanned
-		return out, stats, err
+		if len(set.segs) == 1 {
+			scan, err := set.segs[0].tr.ScanParallel(pred, d.par, func(s trajectory.Sample) {
+				out = append(out, s)
+			})
+			stats.Scan = scan
+			// Every scanned block was a decode; keep the misses-equal-decodes
+			// invariant the cached path maintains.
+			stats.CacheMisses = scan.BlocksScanned
+			return out, stats, err
+		}
+		cur := segmentCursor(set, pred)
+		for cur.Next() {
+			b := cur.Batch()
+			for i := 0; i < b.Len(); i++ {
+				out = append(out, b.Row(i))
+			}
+		}
+		stats.Scan = cur.Stats()
+		stats.CacheMisses = stats.Scan.BlocksScanned
+		return out, stats, cur.Close()
 	}
 
-	stats.Scan.BlocksTotal = len(d.zones)
-	surviving := make([]int, 0, len(d.zones))
-	for i, zm := range d.zones {
-		if pred.SkipBlock(zm) {
-			stats.Scan.BlocksPruned++
-		} else {
-			surviving = append(surviving, i)
+	// First pass, per segment: prune via zone maps, pull what the cache
+	// already holds, and collect misses.
+	surviving := make([][]int, len(set.segs))
+	batches := make([][]*colstore.TrajectoryBatch, len(set.segs))
+	var misses []blockRef
+	for si, sg := range set.segs {
+		stats.Scan.BlocksTotal += len(sg.zones)
+		for i, zm := range sg.zones {
+			if pred.SkipBlock(zm) {
+				stats.Scan.BlocksPruned++
+			} else {
+				surviving[si] = append(surviving[si], i)
+			}
 		}
-	}
-
-	// First pass: pull what the cache already holds, and collect misses.
-	batches := make([]*colstore.TrajectoryBatch, len(surviving))
-	var misses []int // indexes into surviving
-	for j, i := range surviving {
-		if cached, ok := d.cache.Get(i); ok {
-			batches[j] = cached
-			stats.CacheHits++
-			continue
+		batches[si] = make([]*colstore.TrajectoryBatch, len(surviving[si]))
+		for j, i := range surviving[si] {
+			if cached, ok := d.cache.Get(sg.id, i); ok {
+				batches[si][j] = cached
+				stats.CacheHits++
+				continue
+			}
+			misses = append(misses, blockRef{sg: sg, block: i, si: si, j: j})
 		}
-		misses = append(misses, j)
 	}
 	stats.CacheMisses = len(misses)
 
 	// Second pass: decode the misses block-parallel (straight out of the
 	// mmap region on the default open path) and cache the decoded batches.
-	if err := d.decodeMisses(surviving, misses, batches); err != nil {
+	if err := d.decodeMisses(misses, batches); err != nil {
 		return nil, stats, err
 	}
 
-	// Merge in file order, filtering rows with the exact Scan semantics.
-	var out []trajectory.Sample
-	for j := range surviving {
-		b := batches[j]
-		stats.Scan.BlocksScanned++
-		stats.Scan.RowsScanned += b.Len()
-		for i := 0; i < b.Len(); i++ {
-			if s := b.Row(i); pred.MatchTrajectory(s) {
-				stats.Scan.RowsMatched++
-				out = append(out, s)
+	// Filter each segment's blocks in file order with the exact Scan
+	// semantics, then merge the per-segment runs into global time order.
+	runs := make([][]trajectory.Sample, len(set.segs))
+	for si := range set.segs {
+		for _, b := range batches[si] {
+			stats.Scan.BlocksScanned++
+			stats.Scan.RowsScanned += b.Len()
+			for i := 0; i < b.Len(); i++ {
+				if s := b.Row(i); pred.MatchTrajectory(s) {
+					stats.Scan.RowsMatched++
+					runs[si] = append(runs[si], s)
+				}
 			}
 		}
 	}
-	return out, stats, nil
+	if len(runs) == 1 {
+		return runs[0], stats, nil
+	}
+	return mergeSampleRuns(runs), stats, nil
 }
 
-// decodeMisses decodes the missing blocks (surviving[j] for j in misses)
-// into batches[j] using up to d.par workers, inserting each into the cache.
-func (d *Dataset) decodeMisses(surviving, misses []int, batches []*colstore.TrajectoryBatch) error {
+// blockRef names one block to decode: which segment, which block, and where
+// the decoded batch lands.
+type blockRef struct {
+	sg    *segReader
+	block int
+	si, j int // destination: batches[si][j]
+}
+
+// decodeMisses decodes the missing blocks into their batch slots using up to
+// d.par workers, inserting each into the cache under its segment's ID.
+func (d *Dataset) decodeMisses(misses []blockRef, batches [][]*colstore.TrajectoryBatch) error {
+	decode := func(ref blockRef) error {
+		decoded, err := ref.sg.tr.DecodeBlockBatch(ref.block)
+		if err != nil {
+			return err
+		}
+		batches[ref.si][ref.j] = decoded
+		d.cache.Put(ref.sg.id, ref.block, decoded)
+		return nil
+	}
 	workers := d.par
 	if workers > len(misses) {
 		workers = len(misses)
 	}
 	if workers <= 1 {
-		for _, j := range misses {
-			if err := d.decodeOne(surviving[j], j, batches); err != nil {
+		for _, ref := range misses {
+			if err := decode(ref); err != nil {
 				return err
 			}
 		}
@@ -281,8 +505,7 @@ func (d *Dataset) decodeMisses(surviving, misses []int, batches []*colstore.Traj
 		go func(w int) {
 			defer wg.Done()
 			for k := w; k < len(misses); k += workers {
-				j := misses[k]
-				if err := d.decodeOne(surviving[j], j, batches); err != nil {
+				if err := decode(misses[k]); err != nil {
 					errs[w] = err
 					return
 				}
@@ -298,39 +521,52 @@ func (d *Dataset) decodeMisses(surviving, misses []int, batches []*colstore.Traj
 	return nil
 }
 
-func (d *Dataset) decodeOne(block, j int, batches []*colstore.TrajectoryBatch) error {
-	decoded, err := d.tr.DecodeBlockBatch(block)
-	if err != nil {
-		return err
-	}
-	batches[j] = decoded
-	d.cache.Put(block, decoded)
-	return nil
-}
-
 // indexFor returns the spatio-temporal index over the samples matching pred,
 // from the index cache when the same predicate (and index options) was
-// served before.
+// served before. On a segmented dataset the cache key carries the manifest
+// generation the index was built from, so an entry can never outlive the
+// data it summarizes: a refresh both moves the generation (new keys) and
+// clears the cache (old entries' memory).
 //
 // On a VTB dataset without a block cache (the one-shot vitaquery
-// configuration) the index is built straight from the batch cursor: blocks
-// decode out of the mmap region one at a time into the index builder, so
-// peak memory beyond the finished index is a single decoded batch — which is
-// what Stats.PeakDecodedBytes reports.
+// configuration) the index is built straight from the batch cursor — the
+// per-segment cursors merged in time order when the dataset is segmented:
+// blocks decode out of the mmap regions one at a time into the index
+// builder, so peak memory beyond the finished index is one decoded batch per
+// segment — which is what Stats.PeakDecodedBytes approximates.
 func (d *Dataset) indexFor(pred colstore.Predicate) (*query.TrajectoryIndex, Stats, error) {
+	if d.format == storage.FormatCSV {
+		return d.indexForCSV(pred)
+	}
+	set := d.acquireSet()
+	if set == nil {
+		return nil, Stats{Format: string(d.format)}, errClosed
+	}
+	defer set.release()
+
 	key := predKey(pred, d.qopts)
+	if d.log != nil {
+		key = fmt.Sprintf("g%d|%s", set.gen, key)
+	}
 	if d.idx != nil {
 		if ix, ok := d.idx.get(key); ok {
-			return ix, Stats{Format: string(d.format), IndexCached: true}, nil
+			st := Stats{Format: string(d.format), IndexCached: true}
+			if d.log != nil {
+				st.Segments = len(set.segs)
+			}
+			return ix, st, nil
 		}
 	}
 	var ix *query.TrajectoryIndex
 	var stats Stats
 	var sampleBytes int64 // approximate bytes of the matched rows
-	if d.tr != nil && d.cache == nil {
+	if d.cache == nil {
 		stats = Stats{Format: string(d.format)}
+		if d.log != nil {
+			stats.Segments = len(set.segs)
+		}
 		b := query.NewIndexBuilder(d.qopts)
-		cur := d.tr.Cursor(pred)
+		cur := segmentCursor(set, pred)
 		for cur.Next() {
 			sampleBytes += cur.Batch().Bytes()
 			b.AddBatch(cur.Batch())
@@ -341,7 +577,9 @@ func (d *Dataset) indexFor(pred colstore.Predicate) (*query.TrajectoryIndex, Sta
 		// Peak comes from the cursor, which measures each batch before
 		// predicate filtering — the full decoded block is what was
 		// transiently resident, however few rows survived.
-		stats.PeakDecodedBytes = cur.PeakDecodedBytes()
+		if p, ok := cur.(interface{ PeakDecodedBytes() int64 }); ok {
+			stats.PeakDecodedBytes = p.PeakDecodedBytes()
+		}
 		// Every scanned block was a decode; keep the misses-equal-decodes
 		// invariant the cached path maintains.
 		stats.CacheMisses = stats.Scan.BlocksScanned
@@ -350,7 +588,7 @@ func (d *Dataset) indexFor(pred colstore.Predicate) (*query.TrajectoryIndex, Sta
 		}
 		ix = b.Build()
 	} else {
-		samples, st, err := d.Samples(pred)
+		samples, st, err := d.samplesFromSet(set, pred)
 		if err != nil {
 			return nil, st, err
 		}
@@ -363,6 +601,26 @@ func (d *Dataset) indexFor(pred colstore.Predicate) (*query.TrajectoryIndex, Sta
 		// nodes and bucket structure over them; 3x the raw sample bytes is
 		// a conservative footprint estimate for the byte bound.
 		d.idx.put(key, ix, 3*sampleBytes)
+	}
+	return ix, stats, nil
+}
+
+// indexForCSV is indexFor's CSV path: no segments, no cursors, keys never
+// need a generation because the file cannot change under the server.
+func (d *Dataset) indexForCSV(pred colstore.Predicate) (*query.TrajectoryIndex, Stats, error) {
+	key := predKey(pred, d.qopts)
+	if d.idx != nil {
+		if ix, ok := d.idx.get(key); ok {
+			return ix, Stats{Format: string(d.format), IndexCached: true}, nil
+		}
+	}
+	samples, stats, err := d.Samples(pred)
+	if err != nil {
+		return nil, stats, err
+	}
+	ix := query.NewTrajectoryIndex(samples, d.qopts)
+	if d.idx != nil {
+		d.idx.put(key, ix, 3*samplesBytes(samples))
 	}
 	return ix, stats, nil
 }
@@ -541,4 +799,17 @@ func (c *indexCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// clear drops every entry, returning how many there were. Refresh calls it
+// when the dataset moves to a new manifest generation: the entries' keys
+// name the old generation and will never be asked for again.
+func (c *indexCache) clear() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[string]indexEntry)
+	c.order = nil
+	c.bytes = 0
+	return n
 }

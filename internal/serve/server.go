@@ -285,6 +285,14 @@ type ServerStats struct {
 	IndexHits     int64            `json:"index_hits"`
 	IndexEntries  int              `json:"index_entries"`
 	Cache         CacheStats       `json:"cache"`
+
+	// Live-dataset counters; all zero for single-file and CSV datasets.
+	Segments           int    `json:"segments"`
+	Generation         uint64 `json:"generation"`
+	Compactions        uint64 `json:"compactions"`
+	Refreshes          int64  `json:"refreshes"`
+	BlockInvalidations int64  `json:"block_invalidations"`
+	IndexInvalidations int64  `json:"index_invalidations"`
 }
 
 // Stats returns a snapshot of the server's lifetime counters.
@@ -306,6 +314,13 @@ func (s *Server) Stats() ServerStats {
 		BlocksDecoded: s.decoded.Load(),
 		IndexHits:     s.idxHits.Load(),
 		Cache:         s.ds.CacheStats(),
+
+		Segments:           s.ds.Segments(),
+		Generation:         s.ds.Generation(),
+		Compactions:        s.ds.Compactions(),
+		Refreshes:          s.ds.Refreshes(),
+		BlockInvalidations: s.ds.BlockInvalidations(),
+		IndexInvalidations: s.ds.IndexInvalidations(),
 	}
 	if s.ds.idx != nil {
 		st.IndexEntries = s.ds.idx.len()

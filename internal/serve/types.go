@@ -43,6 +43,9 @@ type Stats struct {
 	// the observable form of the bounded-memory claim: however large the
 	// file, the scan's transient footprint is one block's batch.
 	PeakDecodedBytes int64 `json:"peak_decoded_bytes,omitempty"`
+	// Segments is how many live segments the request's scan fanned across
+	// (segmented datasets only; omitted for single-file and CSV).
+	Segments int `json:"segments,omitempty"`
 }
 
 // RangeRequest asks for every sample inside box on floor during [T0, T1].

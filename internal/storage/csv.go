@@ -163,23 +163,32 @@ func WriteRSSICSV(w io.Writer, ms []rssi.Measurement) error {
 	return rw.Close()
 }
 
+// parseRSSIRecord converts one post-header CSV record to a measurement.
+func parseRSSIRecord(rec []string) (rssi.Measurement, error) {
+	objID, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return rssi.Measurement{}, fmt.Errorf("storage: bad o_id %q", rec[0])
+	}
+	v, err := strconv.ParseFloat(rec[2], 64)
+	if err != nil {
+		return rssi.Measurement{}, fmt.Errorf("storage: bad rssi %q", rec[2])
+	}
+	t, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil {
+		return rssi.Measurement{}, fmt.Errorf("storage: bad t %q", rec[3])
+	}
+	return rssi.Measurement{ObjID: objID, DeviceID: rec[1], RSSI: v, T: t}, nil
+}
+
 // ScanRSSICSV parses CSV written by WriteRSSICSV row by row, without
 // materializing the file.
 func ScanRSSICSV(r io.Reader, emit func(rssi.Measurement)) error {
 	return scanRows(r, 4, func(rec []string) error {
-		objID, err := strconv.Atoi(rec[0])
+		m, err := parseRSSIRecord(rec)
 		if err != nil {
-			return fmt.Errorf("storage: bad o_id %q", rec[0])
+			return err
 		}
-		v, err := strconv.ParseFloat(rec[2], 64)
-		if err != nil {
-			return fmt.Errorf("storage: bad rssi %q", rec[2])
-		}
-		t, err := strconv.ParseFloat(rec[3], 64)
-		if err != nil {
-			return fmt.Errorf("storage: bad t %q", rec[3])
-		}
-		emit(rssi.Measurement{ObjID: objID, DeviceID: rec[1], RSSI: v, T: t})
+		emit(m)
 		return nil
 	})
 }

@@ -41,6 +41,14 @@ type TrajectoryCursor interface {
 type CursorOptions struct {
 	// DisableMmap forces the pread path for VTB files (CSV never maps).
 	DisableMmap bool
+	// Sequential hints that the file will be scanned once front to back
+	// (madvise(MADV_SEQUENTIAL) on mmap-backed VTB readers) — set it for
+	// cold full-file passes like compaction merges. CSV ignores it.
+	Sequential bool
+}
+
+func (o CursorOptions) open() colstore.OpenOptions {
+	return colstore.OpenOptions{DisableMmap: o.DisableMmap, Sequential: o.Sequential}
 }
 
 // OpenTrajectoryCursor opens a batch cursor over the trajectory file at
@@ -57,7 +65,7 @@ func OpenTrajectoryCursorOptions(path string, pred colstore.Predicate, opts Curs
 		return nil, "", err
 	}
 	if format == FormatVTB {
-		r, err := colstore.OpenTrajectoryOptions(path, colstore.OpenOptions{DisableMmap: opts.DisableMmap})
+		r, err := colstore.OpenTrajectoryOptions(path, opts.open())
 		if err != nil {
 			return nil, format, err
 		}

@@ -1,0 +1,290 @@
+package storage
+
+import (
+	"vita/internal/colstore"
+)
+
+// Merged cursors present several sorted inputs — the live segments of an
+// internal/seglog dataset — as one cursor in the order a single file holding
+// the same rows would have. Each input is already sorted (trajectory segments
+// carry global time order, RSSI segments ascending object groups) and inputs
+// never interleave *within* an equal key except by input order, so a k-way
+// min-scan with input index as the final tie-break reproduces the original
+// stream exactly. Segment counts are small (compaction keeps them so), so the
+// scan over inputs per row beats a heap on real workloads.
+//
+// Memory stays O(inputs × batch): one decoded batch per input plus the output
+// batch, however large the dataset.
+
+// mergeBatchSize is how many rows one merged output batch holds — matched to
+// csvCursorBatchSize and the VTB default block size so downstream consumers
+// see the usual batch granularity.
+const mergeBatchSize = 4096
+
+// NewTrajectoryMergeCursor merges already-open trajectory cursors into one
+// stream ordered by (T, ObjID, input index). The merged cursor owns the
+// inputs: its Close closes them all. Inputs must be sorted by (T, ObjID) —
+// true of every VTB trajectory file the pipeline writes.
+func NewTrajectoryMergeCursor(inputs []TrajectoryCursor) TrajectoryCursor {
+	return &trajectoryMergeCursor{
+		in:  inputs,
+		cur: make([]*colstore.TrajectoryBatch, len(inputs)),
+		pos: make([]int, len(inputs)),
+	}
+}
+
+// OpenTrajectoryCursorMulti opens every path and merges them in time order;
+// see NewTrajectoryMergeCursor. A single path opens without merge overhead.
+func OpenTrajectoryCursorMulti(paths []string, pred colstore.Predicate, opts CursorOptions) (TrajectoryCursor, error) {
+	inputs := make([]TrajectoryCursor, 0, len(paths))
+	for _, p := range paths {
+		cur, _, err := OpenTrajectoryCursorOptions(p, pred, opts)
+		if err != nil {
+			for _, c := range inputs {
+				c.Close()
+			}
+			return nil, err
+		}
+		inputs = append(inputs, cur)
+	}
+	if len(inputs) == 1 {
+		return inputs[0], nil
+	}
+	return NewTrajectoryMergeCursor(inputs), nil
+}
+
+type trajectoryMergeCursor struct {
+	in     []TrajectoryCursor
+	cur    []*colstore.TrajectoryBatch // current batch per input; nil = drained
+	pos    []int
+	out    colstore.TrajectoryBatch
+	peak   int64
+	err    error
+	primed bool
+	closed bool
+}
+
+func (c *trajectoryMergeCursor) Next() bool {
+	if c.err != nil || c.closed {
+		return false
+	}
+	if !c.primed {
+		c.primed = true
+		for i := range c.in {
+			c.advance(i)
+			if c.err != nil {
+				return false
+			}
+		}
+	}
+	c.out.Reset()
+	for c.out.Len() < mergeBatchSize {
+		best := -1
+		for i, b := range c.cur {
+			if b == nil {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			bb := c.cur[best]
+			ti, tb := b.T[c.pos[i]], bb.T[c.pos[best]]
+			// Strict comparisons keep the earliest input on full ties, which
+			// is the (T, ObjID, input index) order.
+			if ti < tb || (ti == tb && b.ObjID[c.pos[i]] < bb.ObjID[c.pos[best]]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // every input drained
+		}
+		c.out.Append(c.cur[best].Row(c.pos[best]))
+		c.pos[best]++
+		if c.pos[best] == c.cur[best].Len() {
+			c.advance(best)
+			if c.err != nil {
+				return false
+			}
+		}
+	}
+	if n := c.out.Bytes(); n > c.peak {
+		c.peak = n
+	}
+	return c.out.Len() > 0
+}
+
+// advance pulls input i's next batch, marking it drained at end of input.
+// Holding the previous batch pointer across other inputs' advances is safe:
+// a cursor's batch is invalidated only by its own Next.
+func (c *trajectoryMergeCursor) advance(i int) {
+	if c.in[i].Next() {
+		c.cur[i] = c.in[i].Batch()
+		c.pos[i] = 0
+		return
+	}
+	c.cur[i] = nil
+	if err := c.in[i].Err(); err != nil {
+		c.err = err
+	}
+}
+
+func (c *trajectoryMergeCursor) Batch() *colstore.TrajectoryBatch { return &c.out }
+func (c *trajectoryMergeCursor) Err() error                       { return c.err }
+
+// Stats sums the inputs' scan statistics.
+func (c *trajectoryMergeCursor) Stats() colstore.ScanStats {
+	var st colstore.ScanStats
+	for _, in := range c.in {
+		s := in.Stats()
+		st.BlocksTotal += s.BlocksTotal
+		st.BlocksScanned += s.BlocksScanned
+		st.BlocksPruned += s.BlocksPruned
+		st.RowsScanned += s.RowsScanned
+		st.RowsMatched += s.RowsMatched
+	}
+	return st
+}
+
+// PeakDecodedBytes returns the largest merged output batch so far — the
+// cursor's own transient footprint (each input additionally holds one decoded
+// block at a time).
+func (c *trajectoryMergeCursor) PeakDecodedBytes() int64 { return c.peak }
+
+func (c *trajectoryMergeCursor) Close() error {
+	if !c.closed {
+		c.closed = true
+		for _, in := range c.in {
+			if cerr := in.Close(); c.err == nil && cerr != nil {
+				c.err = cerr
+			}
+		}
+	}
+	return c.err
+}
+
+// NewRSSIMergeCursor merges already-open RSSI cursors into one stream ordered
+// by (ObjID, input index): each object's rows come out grouped, inputs'
+// chunks of a split group concatenated in input order — the order a single
+// file written by the pipeline would carry. The merged cursor owns the
+// inputs.
+func NewRSSIMergeCursor(inputs []RSSICursor) RSSICursor {
+	return &rssiMergeCursor{
+		in:  inputs,
+		cur: make([]*colstore.RSSIBatch, len(inputs)),
+		pos: make([]int, len(inputs)),
+	}
+}
+
+// OpenRSSICursorMulti opens every path and merges them in object-group
+// order; see NewRSSIMergeCursor.
+func OpenRSSICursorMulti(paths []string, pred colstore.Predicate, opts CursorOptions) (RSSICursor, error) {
+	inputs := make([]RSSICursor, 0, len(paths))
+	for _, p := range paths {
+		cur, _, err := OpenRSSICursorOptions(p, pred, opts)
+		if err != nil {
+			for _, c := range inputs {
+				c.Close()
+			}
+			return nil, err
+		}
+		inputs = append(inputs, cur)
+	}
+	if len(inputs) == 1 {
+		return inputs[0], nil
+	}
+	return NewRSSIMergeCursor(inputs), nil
+}
+
+type rssiMergeCursor struct {
+	in     []RSSICursor
+	cur    []*colstore.RSSIBatch
+	pos    []int
+	out    colstore.RSSIBatch
+	err    error
+	primed bool
+	closed bool
+}
+
+func (c *rssiMergeCursor) Next() bool {
+	if c.err != nil || c.closed {
+		return false
+	}
+	if !c.primed {
+		c.primed = true
+		for i := range c.in {
+			c.advance(i)
+			if c.err != nil {
+				return false
+			}
+		}
+	}
+	c.out.Reset()
+	for c.out.Len() < mergeBatchSize {
+		best := -1
+		for i, b := range c.cur {
+			if b == nil {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			if b.ObjID[c.pos[i]] < c.cur[best].ObjID[c.pos[best]] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c.out.Append(c.cur[best].Row(c.pos[best]))
+		c.pos[best]++
+		if c.pos[best] == c.cur[best].Len() {
+			c.advance(best)
+			if c.err != nil {
+				return false
+			}
+		}
+	}
+	return c.out.Len() > 0
+}
+
+func (c *rssiMergeCursor) advance(i int) {
+	if c.in[i].Next() {
+		c.cur[i] = c.in[i].Batch()
+		c.pos[i] = 0
+		return
+	}
+	c.cur[i] = nil
+	if err := c.in[i].Err(); err != nil {
+		c.err = err
+	}
+}
+
+func (c *rssiMergeCursor) Batch() *colstore.RSSIBatch { return &c.out }
+func (c *rssiMergeCursor) Err() error                 { return c.err }
+
+func (c *rssiMergeCursor) Stats() colstore.ScanStats {
+	var st colstore.ScanStats
+	for _, in := range c.in {
+		s := in.Stats()
+		st.BlocksTotal += s.BlocksTotal
+		st.BlocksScanned += s.BlocksScanned
+		st.BlocksPruned += s.BlocksPruned
+		st.RowsScanned += s.RowsScanned
+		st.RowsMatched += s.RowsMatched
+	}
+	return st
+}
+
+func (c *rssiMergeCursor) Close() error {
+	if !c.closed {
+		c.closed = true
+		for _, in := range c.in {
+			if cerr := in.Close(); c.err == nil && cerr != nil {
+				c.err = cerr
+			}
+		}
+	}
+	return c.err
+}

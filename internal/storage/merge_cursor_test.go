@@ -1,0 +1,302 @@
+package storage
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vita/internal/colstore"
+	"vita/internal/rssi"
+	"vita/internal/trajectory"
+)
+
+func rssiMeasurements() []rssi.Measurement {
+	var out []rssi.Measurement
+	for o := 0; o < 6; o++ {
+		for t := 0; t < 300; t++ {
+			out = append(out, rssi.Measurement{
+				ObjID:    o,
+				DeviceID: []string{"ap-0", "ap-1", "ap-2"}[t%3],
+				RSSI:     -40 - float64(t%30),
+				T:        float64(t),
+			})
+		}
+	}
+	return out
+}
+
+func writeTrajectoryVTB(t *testing.T, path string, samples []trajectory.Sample) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := colstore.NewTrajectoryWriterOptions(f, colstore.Options{BlockSize: 256})
+	for _, s := range samples {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeRSSIVTB(t *testing.T, path string, ms []rssi.Measurement) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := colstore.NewRSSIWriterOptions(f, colstore.Options{BlockSize: 256})
+	for _, m := range ms {
+		if err := w.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenRSSICursorBothFormats requires the RSSI batch cursor to yield
+// exactly the rows (and stats) of ScanRSSIFile for the same predicate, on a
+// VTB file (mmap and pread) and on a CSV file — the measurement-side twin of
+// TestOpenTrajectoryCursorBothFormats.
+func TestOpenRSSICursorBothFormats(t *testing.T) {
+	ms := rssiMeasurements()
+	dir := t.TempDir()
+
+	vtbPath := filepath.Join(dir, "rssi.vtb")
+	writeRSSIVTB(t, vtbPath, ms)
+
+	csvPath := filepath.Join(dir, "rssi.csv")
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRSSICSV(cf, ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	preds := map[string]colstore.Predicate{
+		"all":    {},
+		"window": colstore.TimeWindow(50, 120),
+		"object": {HasObj: true, Obj: 3},
+		"empty":  colstore.TimeWindow(1e6, 2e6),
+	}
+	cases := []struct {
+		name       string
+		path       string
+		wantFormat Format
+		opts       CursorOptions
+	}{
+		{"vtb-mmap", vtbPath, FormatVTB, CursorOptions{}},
+		{"vtb-pread", vtbPath, FormatVTB, CursorOptions{DisableMmap: true}},
+		{"csv", csvPath, FormatCSV, CursorOptions{}},
+	}
+	for _, tc := range cases {
+		for name, pred := range preds {
+			t.Run(tc.name+"/"+name, func(t *testing.T) {
+				var want []rssi.Measurement
+				wantStats, _, err := ScanRSSIFile(tc.path, pred, func(m rssi.Measurement) {
+					want = append(want, m)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur, format, err := OpenRSSICursorOptions(tc.path, pred, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if format != tc.wantFormat {
+					t.Fatalf("format = %s, want %s", format, tc.wantFormat)
+				}
+				var got []rssi.Measurement
+				for cur.Next() {
+					if cur.Batch().Len() == 0 {
+						t.Fatal("Next returned an empty batch")
+					}
+					got = cur.Batch().AppendTo(got)
+				}
+				if err := cur.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if cur.Stats() != wantStats {
+					t.Errorf("stats differ: cursor %+v, scan %+v", cur.Stats(), wantStats)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("cursor yielded %d rows, scan %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ObjID != want[i].ObjID || got[i].DeviceID != want[i].DeviceID ||
+						math.Float64bits(got[i].RSSI) != math.Float64bits(want[i].RSSI) ||
+						math.Float64bits(got[i].T) != math.Float64bits(want[i].T) {
+						t.Fatalf("row %d differs: got %+v, want %+v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTrajectoryMergeCursorMatchesSingleFile splits one time-ordered stream
+// into contiguous segment files — the exact shape internal/seglog rolls — and
+// requires the merge cursor over the pieces to reproduce the single-file
+// cursor row for row, under every predicate. Splitting mid-timestamp also
+// exercises the input-index tie-break: equal (T, ObjID) keys never exist, but
+// equal T across inputs does, and the earlier segment must win.
+func TestTrajectoryMergeCursorMatchesSingleFile(t *testing.T) {
+	samples := cursorSamples()
+	dir := t.TempDir()
+
+	single := filepath.Join(dir, "all.vtb")
+	writeTrajectoryVTB(t, single, samples)
+
+	// Uneven splits, one cutting through a timestamp run.
+	bounds := []int{0, 700, 701, 1700, len(samples)}
+	var parts []string
+	for i := 0; i+1 < len(bounds); i++ {
+		p := filepath.Join(dir, "seg-"+string(rune('a'+i))+".vtb")
+		writeTrajectoryVTB(t, p, samples[bounds[i]:bounds[i+1]])
+		parts = append(parts, p)
+	}
+
+	preds := map[string]colstore.Predicate{
+		"all":    {},
+		"window": colstore.TimeWindow(100, 250),
+		"object": {HasObj: true, Obj: 2},
+		"empty":  colstore.TimeWindow(1e6, 2e6),
+	}
+	for name, pred := range preds {
+		t.Run(name, func(t *testing.T) {
+			wantCur, _, err := OpenTrajectoryCursorOptions(single, pred, CursorOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []trajectory.Sample
+			for wantCur.Next() {
+				want = wantCur.Batch().AppendTo(want)
+			}
+			if err := wantCur.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			cur, err := OpenTrajectoryCursorMulti(parts, pred, CursorOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []trajectory.Sample
+			for cur.Next() {
+				got = cur.Batch().AppendTo(got)
+			}
+			if cur.Stats().RowsMatched != len(got) {
+				t.Errorf("RowsMatched = %d, rows yielded %d", cur.Stats().RowsMatched, len(got))
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("merge yielded %d rows, single file %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("row %d differs: got %+v, want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRSSIMergeCursorMatchesSingleFile is the RSSI twin: object-grouped
+// measurements split into contiguous segment files must merge back into the
+// single-file stream, including a split inside one object's run (the
+// (ObjID, input index) key keeps the earlier segment's rows first).
+func TestRSSIMergeCursorMatchesSingleFile(t *testing.T) {
+	ms := rssiMeasurements()
+	dir := t.TempDir()
+
+	single := filepath.Join(dir, "all.vtb")
+	writeRSSIVTB(t, single, ms)
+
+	bounds := []int{0, 450, 900, len(ms)} // 450 cuts object 1's run in half
+	var parts []string
+	for i := 0; i+1 < len(bounds); i++ {
+		p := filepath.Join(dir, "seg-"+string(rune('a'+i))+".vtb")
+		writeRSSIVTB(t, p, ms[bounds[i]:bounds[i+1]])
+		parts = append(parts, p)
+	}
+
+	preds := map[string]colstore.Predicate{
+		"all":    {},
+		"window": colstore.TimeWindow(50, 120),
+		"object": {HasObj: true, Obj: 1},
+	}
+	for name, pred := range preds {
+		t.Run(name, func(t *testing.T) {
+			var want []rssi.Measurement
+			if _, _, err := ScanRSSIFile(single, pred, func(m rssi.Measurement) {
+				want = append(want, m)
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			cur, err := OpenRSSICursorMulti(parts, pred, CursorOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []rssi.Measurement
+			for cur.Next() {
+				got = cur.Batch().AppendTo(got)
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("merge yielded %d rows, single file %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("row %d differs: got %+v, want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMergeCursorSingleInputPassThrough: a one-path Multi open must not wrap
+// the cursor in merge machinery.
+func TestMergeCursorSingleInputPassThrough(t *testing.T) {
+	samples := cursorSamples()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "one.vtb")
+	writeTrajectoryVTB(t, p, samples)
+
+	cur, err := OpenTrajectoryCursorMulti([]string{p}, colstore.Predicate{}, CursorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.(*trajectoryMergeCursor); ok {
+		t.Fatal("single input was wrapped in a merge cursor")
+	}
+	n := 0
+	for cur.Next() {
+		n += cur.Batch().Len()
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(samples) {
+		t.Fatalf("yielded %d rows, want %d", n, len(samples))
+	}
+}

@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"encoding/csv"
+	"io"
+	"os"
+
+	"vita/internal/colstore"
+)
+
+// RSSICursor is the format-agnostic batch iterator over an RSSI file — the
+// measurement-side twin of TrajectoryCursor, with the same contract: pull one
+// decoded column batch at a time, O(block) memory however large the file.
+// Rows, order, and stats match ScanRSSIFile with the same predicate (floor
+// and box constraints do not apply to RSSI rows and are ignored).
+type RSSICursor interface {
+	// Next advances to the next non-empty batch of matching rows.
+	Next() bool
+	// Batch returns the current batch, valid until the next Next or Close.
+	Batch() *colstore.RSSIBatch
+	// Err returns the first error the cursor hit, if any.
+	Err() error
+	// Stats returns the scan statistics accumulated so far.
+	Stats() colstore.ScanStats
+	// Close releases the cursor and the underlying file, returning Err.
+	Close() error
+}
+
+// OpenRSSICursor opens a batch cursor over the RSSI file at path in either
+// format (detected by magic bytes) with default options.
+func OpenRSSICursor(path string, pred colstore.Predicate) (RSSICursor, Format, error) {
+	return OpenRSSICursorOptions(path, pred, CursorOptions{})
+}
+
+// OpenRSSICursorOptions is OpenRSSICursor with explicit options.
+func OpenRSSICursorOptions(path string, pred colstore.Predicate, opts CursorOptions) (RSSICursor, Format, error) {
+	format, err := DetectFormat(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if format == FormatVTB {
+		r, err := colstore.OpenRSSIOptions(path, opts.open())
+		if err != nil {
+			return nil, format, err
+		}
+		return &vtbRSSICursor{r: r, cur: r.Cursor(pred)}, format, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, format, err
+	}
+	cr := csv.NewReader(f)
+	cr.FieldsPerRecord = 4
+	cr.ReuseRecord = true
+	pred.HasFloor, pred.HasBox = false, false
+	return &csvRSSICursor{f: f, cr: cr, pred: pred}, format, nil
+}
+
+// vtbRSSICursor couples a colstore cursor to the reader it borrows, closing
+// both together.
+type vtbRSSICursor struct {
+	r   *colstore.RSSIReader
+	cur *colstore.RSSICursor
+}
+
+func (c *vtbRSSICursor) Next() bool                 { return c.cur.Next() }
+func (c *vtbRSSICursor) Batch() *colstore.RSSIBatch { return c.cur.Batch() }
+func (c *vtbRSSICursor) Err() error                 { return c.cur.Err() }
+func (c *vtbRSSICursor) Stats() colstore.ScanStats  { return c.cur.Stats() }
+func (c *vtbRSSICursor) Close() error {
+	err := c.cur.Close()
+	if cerr := c.r.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// csvRSSICursor adapts the streaming CSV parser to the batch shape; see
+// csvTrajectoryCursor.
+type csvRSSICursor struct {
+	f      *os.File
+	cr     *csv.Reader
+	pred   colstore.Predicate
+	batch  colstore.RSSIBatch
+	stats  colstore.ScanStats
+	row    int
+	err    error
+	closed bool
+	done   bool
+}
+
+func (c *csvRSSICursor) Next() bool {
+	if c.err != nil || c.closed || c.done {
+		return false
+	}
+	c.batch.Reset()
+	for c.batch.Len() < csvCursorBatchSize {
+		rec, err := c.cr.Read()
+		if err == io.EOF {
+			c.done = true
+			break
+		}
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.row++
+		if c.row == 1 {
+			continue // header row
+		}
+		m, err := parseRSSIRecord(rec)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.stats.RowsScanned++
+		if c.pred.MatchRSSI(m) {
+			c.stats.RowsMatched++
+			c.batch.Append(m)
+		}
+	}
+	return c.batch.Len() > 0
+}
+
+func (c *csvRSSICursor) Batch() *colstore.RSSIBatch { return &c.batch }
+func (c *csvRSSICursor) Err() error                 { return c.err }
+func (c *csvRSSICursor) Stats() colstore.ScanStats  { return c.stats }
+
+func (c *csvRSSICursor) Close() error {
+	if !c.closed {
+		c.closed = true
+		if cerr := c.f.Close(); c.err == nil && cerr != nil {
+			c.err = cerr
+		}
+	}
+	return c.err
+}

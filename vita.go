@@ -38,6 +38,7 @@ import (
 	"vita/internal/ifc"
 	"vita/internal/positioning"
 	"vita/internal/query"
+	"vita/internal/seglog"
 	"vita/internal/serve"
 	"vita/internal/storage"
 	"vita/internal/trajectory"
@@ -126,6 +127,51 @@ func GenerateTo(cfg Config, sink Sink) (*Dataset, error) {
 		return nil, err
 	}
 	return p.RunTo(sink)
+}
+
+// Live segmented datasets (internal/seglog): a dataset as an append-able,
+// compacting log of VTB segment files under a crash-safe manifest, so
+// generation can stream into it while a query daemon serves it.
+
+// SegmentLog is an on-disk log of VTB segments with a manifest; see
+// seglog.Log for the single-mutator/many-readers contract.
+type SegmentLog = seglog.Log
+
+// SegmentManifest is a point-in-time snapshot of a log's live segments.
+type SegmentManifest = seglog.Manifest
+
+// SegmentMeta describes one live segment: identity, row count, time span.
+type SegmentMeta = seglog.SegmentMeta
+
+// SegmentWriterOptions tunes segment roll-over (byte/row thresholds, block
+// encoding).
+type SegmentWriterOptions = seglog.WriterOptions
+
+// SegmentCompactor merges a log's accumulated segments into one re-blocked
+// in global order; see seglog.Compactor.
+type SegmentCompactor = seglog.Compactor
+
+// SegmentCompactorOptions tunes compaction thresholds.
+type SegmentCompactorOptions = seglog.CompactorOptions
+
+// OpenSegmentLog opens an existing segment log directory for reading or
+// appending.
+func OpenSegmentLog(dir string) (*SegmentLog, error) { return seglog.Open(dir) }
+
+// NewSegmentCompactor returns a compactor over an opened log.
+func NewSegmentCompactor(l *SegmentLog, opts SegmentCompactorOptions) *SegmentCompactor {
+	return seglog.NewCompactor(l, opts)
+}
+
+// SegmentedDirSink streams a run's bulk outputs into live segment logs
+// (dir/seglog/trajectory and dir/seglog/rssi) instead of flat files, so the
+// dataset is queryable while generation is still running.
+type SegmentedDirSink = core.SegmentedDirSink
+
+// NewSegmentedDirSink creates (or resumes) the segment logs under dir and
+// opens rolling writers for the bulk outputs.
+func NewSegmentedDirSink(dir string, opts SegmentWriterOptions) (*SegmentedDirSink, error) {
+	return core.NewSegmentedDirSink(dir, opts)
 }
 
 // EvaluateEstimates compares positioning estimates against the preserved
@@ -339,9 +385,11 @@ type (
 	InfoResponse    = serve.InfoResponse
 )
 
-// OpenQueryDataset opens the trajectory data in dir (trajectory.vtb
-// preferred, trajectory.csv otherwise, detected by magic bytes) for
-// serving.
+// OpenQueryDataset opens the trajectory data in dir for serving: a live
+// segment log (dir itself or dir/seglog/trajectory) takes priority, then
+// trajectory.vtb, then trajectory.csv (detected by magic bytes). Segmented
+// datasets refresh as their manifest advances; see QueryServeConfig's
+// WatchInterval.
 func OpenQueryDataset(dir string, cfg QueryServeConfig) (*QueryDataset, error) {
 	return serve.Open(dir, cfg)
 }
