@@ -27,8 +27,10 @@ type CompactorOptions struct {
 }
 
 func (o CompactorOptions) withDefaults() CompactorOptions {
-	if o.MinSegments < 2 {
+	if o.MinSegments <= 0 {
 		o.MinSegments = 4
+	} else if o.MinSegments < 2 {
+		o.MinSegments = 2
 	}
 	return o
 }

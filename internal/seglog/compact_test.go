@@ -265,6 +265,77 @@ func TestCompactRSSIPreservesGroupOrder(t *testing.T) {
 	}
 }
 
+// The package doc endorses a Writer and a Compactor coexisting in one
+// process; reserveID must burn IDs so the compactor can never build its
+// output under the name of the writer's in-progress segment.
+func TestWriterAndCompactorReserveDistinctIDs(t *testing.T) {
+	dir := t.TempDir()
+	samples := logSamples(120)
+	l, err := OpenOrCreate(dir, colstore.KindTrajectory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewTrajectoryWriter(l, WriterOptions{MaxSegmentRows: 25, Block: colstore.Options{BlockSize: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seal four segments, then leave a fifth in progress (its tmp file open).
+	for _, s := range samples[:110] {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.f == nil {
+		t.Fatal("expected an in-progress segment")
+	}
+	inProgress := w.id
+
+	// Compact the sealed segments mid-write, in the same process.
+	meta, err := NewCompactor(l, CompactorOptions{MinSegments: 2, Block: colstore.Options{BlockSize: 8}}).RunOnce()
+	if err != nil || meta == nil {
+		t.Fatalf("mid-write compaction: %+v, %v", meta, err)
+	}
+	if meta.ID == inProgress {
+		t.Fatalf("compactor reused the writer's in-progress ID %d", inProgress)
+	}
+
+	// The writer's open segment survives the merge untouched.
+	for _, s := range samples[110:] {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, m := range l.Snapshot().Segments {
+		if seen[m.ID] {
+			t.Fatalf("duplicate segment ID %d in manifest", m.ID)
+		}
+		seen[m.ID] = true
+	}
+	got := readLog(t, l)
+	if len(got) != len(samples) {
+		t.Fatalf("rows after concurrent merge = %d, want %d", len(got), len(samples))
+	}
+	for i := range got {
+		if !sampleEqual(got[i], samples[i]) {
+			t.Fatalf("row %d corrupted by concurrent merge", i)
+		}
+	}
+}
+
+func TestCompactorMinSegmentsFloor(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 4}, {-3, 4}, {1, 2}, {2, 2}, {7, 7},
+	} {
+		if got := (CompactorOptions{MinSegments: tc.in}).withDefaults().MinSegments; got != tc.want {
+			t.Errorf("withDefaults(MinSegments=%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
 func measurementEqual(a, b rssi.Measurement) bool {
 	return a.ObjID == b.ObjID && a.DeviceID == b.DeviceID && a.RSSI == b.RSSI && a.T == b.T
 }

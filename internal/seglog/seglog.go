@@ -194,6 +194,9 @@ func (l *Log) Reload() (Manifest, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if man.Generation >= l.man.Generation {
+		// IDs reserved in memory but not yet committed are absent from disk;
+		// keep them burned so an in-process mutator never re-issues one.
+		man.NextID = max(man.NextID, l.man.NextID)
 		l.man = man
 	}
 	return l.man.copy(), nil
@@ -263,14 +266,18 @@ func (l *Log) SweepOrphans() (int, error) {
 	return removed, nil
 }
 
-// reserveID returns the ID the next committed segment will take. It is not
-// burned until the segment commits, so a crash mid-segment reuses it — the
-// orphan tmp file it may have left gets swept or overwritten, and committed
-// IDs stay unique either way.
+// reserveID hands out the next segment ID and burns it in memory, so a
+// Writer and a Compactor coexisting in one process can never build under the
+// same file name. The advanced NextID persists with the next manifest commit;
+// if the process crashes first, restart reuses the unburned ID — safe,
+// because the only trace an uncommitted ID leaves is an orphan tmp file,
+// which gets swept.
 func (l *Log) reserveID() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.man.NextID
+	id := l.man.NextID
+	l.man.NextID++
+	return id
 }
 
 // appendSegment commits one freshly sealed segment: manifest to disk first,

@@ -201,6 +201,10 @@ func (w *Writer[T]) seal() error {
 	}
 	st, err := os.Stat(final)
 	if err != nil {
+		// The segment is renamed into place but uncommitted; the next mutator
+		// sweeps it. Reset so later Write/Abort calls see no open segment.
+		w.f, w.enc = nil, nil
+		w.rows = 0
 		return err
 	}
 	meta := SegmentMeta{
