@@ -28,6 +28,7 @@ import (
 	"vita/internal/index"
 	"vita/internal/model"
 	"vita/internal/object"
+	"vita/internal/plan"
 	"vita/internal/query"
 	"vita/internal/rng"
 	"vita/internal/rssi"
@@ -468,6 +469,56 @@ func BenchmarkVTBScanPruned(b *testing.B) {
 		}
 		if stats.BlocksScanned >= stats.BlocksTotal {
 			b.Fatalf("pruned scan read every block (%d/%d): zone maps are not pruning",
+				stats.BlocksScanned, stats.BlocksTotal)
+		}
+		b.ReportMetric(float64(stats.BlocksScanned), "blocks-read")
+		b.ReportMetric(float64(stats.BlocksPruned), "blocks-pruned")
+	}
+}
+
+// BenchmarkPlanScanPruned runs the same 60-second time-window scan through
+// the operator algebra (Scan + Filter compiled with predicate pushdown) and
+// fails unless the pushed-down predicate still prunes blocks — the gate that
+// the plan layer never regresses zone-map pruning relative to a hand-built
+// predicate scan (BenchmarkVTBScanPruned above is the baseline).
+func BenchmarkPlanScanPruned(b *testing.B) {
+	vtb, _, _ := vtbBenchImage(b)
+	dir := b.TempDir()
+	path := filepath.Join(dir, "trajectory.vtb")
+	if err := os.WriteFile(path, vtb, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := plan.NewScan(plan.FileSource{Path: path}).
+			Filter(plan.TimeBetween(100, 160)).
+			Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for c.Next() {
+			batch := c.Batch().Traj
+			for j := 0; j < batch.Len(); j++ {
+				if batch.T[j] < 100 || batch.T[j] > 160 {
+					b.Fatalf("plan leaked sample at t=%g", batch.T[j])
+				}
+			}
+			rows += batch.Len()
+		}
+		stats := c.Stats()
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if rows == 0 {
+			b.Fatal("pruned plan scan matched nothing")
+		}
+		if !c.ScanPred().HasTime {
+			b.Fatal("planner failed to push the time window into the scan")
+		}
+		if stats.BlocksScanned >= stats.BlocksTotal {
+			b.Fatalf("plan scan read every block (%d/%d): pushdown stopped pruning",
 				stats.BlocksScanned, stats.BlocksTotal)
 		}
 		b.ReportMetric(float64(stats.BlocksScanned), "blocks-read")

@@ -1,0 +1,124 @@
+// Command docslint keeps the documentation wired to the code. It enforces
+// two invariants CI cannot catch with go vet alone:
+//
+//  1. Every Go package in the module (root, internal/..., cmd/...,
+//     examples/...) carries a package comment, so `go doc` always has
+//     something to say about a layer.
+//  2. Every relative link in the top-level documents (README.md,
+//     docs/ARCHITECTURE.md) resolves to a file or directory that exists,
+//     so refactors cannot silently strand the architecture docs.
+//
+// Usage: docslint [-root dir]. Exits non-zero listing every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to lint")
+	flag.Parse()
+
+	var problems []string
+	problems = append(problems, lintPackageComments(*root)...)
+	for _, doc := range []string{"README.md", filepath.Join("docs", "ARCHITECTURE.md")} {
+		problems = append(problems, lintMarkdownLinks(*root, doc)...)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docslint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docslint: ok")
+}
+
+// lintPackageComments walks every directory holding non-test Go files and
+// requires at least one file to carry a package doc comment.
+func lintPackageComments(root string) []string {
+	var problems []string
+	pkgFiles := make(map[string][]string) // dir -> non-test .go files
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			dir := filepath.Dir(path)
+			pkgFiles[dir] = append(pkgFiles[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return []string{fmt.Sprintf("docslint: walk: %v", err)}
+	}
+	for dir, files := range pkgFiles {
+		documented := false
+		fset := token.NewFileSet()
+		for _, f := range files {
+			parsed, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: %v", f, err))
+				continue
+			}
+			if parsed.Doc != nil && strings.TrimSpace(parsed.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			problems = append(problems, fmt.Sprintf("%s: package has no package comment on any file", dir))
+		}
+	}
+	return problems
+}
+
+// linkRe matches markdown inline links and images: [text](target).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// lintMarkdownLinks requires every relative link target in doc to exist on
+// disk, resolved against the document's own directory.
+func lintMarkdownLinks(root, doc string) []string {
+	path := filepath.Join(root, doc)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", doc, err)}
+	}
+	var problems []string
+	for ln, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: broken link %q", doc, ln+1, m[1]))
+			}
+		}
+	}
+	return problems
+}

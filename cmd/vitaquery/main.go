@@ -9,13 +9,15 @@
 //	vitaquery -data out knn -floor 0 -at 10,7.5 -t 60 -k 5
 //	vitaquery -data out density -t 60
 //	vitaquery -data out traj -obj 3 -t0 0 -t1 300
+//	vitaquery -data out dwell -floor 0 -t0 0 -t1 600
 //	vitaquery -data out watch -floor 0 -box 0,0,20,15
 //	vitaquery -data out info
 //
 // With a VTB file the query predicate is pushed into the load: each
 // subcommand derives the block predicate its operator allows (range prunes
-// by window+floor+box, traj by object+window, knn/density by the window
-// widened by -maxgap so interpolation still sees its bracketing samples) and
+// by window+floor+box, traj by object+window, dwell by window+floor,
+// knn/density by the window widened by -maxgap so interpolation still sees
+// its bracketing samples) and
 // the scan skips every block whose zone map rules it out. The file is
 // memory-mapped by default (-mmap=false falls back to plain reads) and the
 // surviving blocks stream through a column-batch cursor straight into the
@@ -64,6 +66,7 @@ type backend interface {
 	KNN(serve.KNNRequest) (*serve.KNNResponse, error)
 	Density(serve.DensityRequest) (*serve.DensityResponse, error)
 	Traj(serve.TrajRequest) (*serve.TrajResponse, error)
+	Dwell(serve.DwellRequest) (*serve.DwellResponse, error)
 	Info() (*serve.InfoResponse, error)
 }
 
@@ -76,7 +79,7 @@ func run() error {
 	useMmap := flag.Bool("mmap", true, "memory-map local VTB files (false = plain file reads)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		return fmt.Errorf("missing subcommand: range | knn | density | traj | watch | info")
+		return fmt.Errorf("missing subcommand: range | knn | density | traj | dwell | watch | info")
 	}
 
 	var be backend
@@ -110,6 +113,8 @@ func run() error {
 		return runDensity(be, ds, args)
 	case "traj":
 		return runTraj(be, ds, args)
+	case "dwell":
+		return runDwell(be, ds, args)
 	case "watch":
 		if ds == nil {
 			return fmt.Errorf("watch needs the raw sample stream and is not supported with -server")
@@ -203,6 +208,22 @@ func runTraj(be backend, ds *serve.Dataset, args []string) error {
 		return err
 	}
 	resp, err := be.Traj(serve.TrajRequest{Obj: *obj, T0: *t0, T1: *t1})
+	if err != nil {
+		return err
+	}
+	reportStats(ds, resp.Stats)
+	return resp.WriteText(os.Stdout)
+}
+
+func runDwell(be backend, ds *serve.Dataset, args []string) error {
+	fs := flag.NewFlagSet("dwell", flag.ExitOnError)
+	floor := fs.Int("floor", -1, "floor to analyze (-1 = all)")
+	t0 := fs.Float64("t0", 0, "window start (s)")
+	t1 := fs.Float64("t1", 1e18, "window end (s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := be.Dwell(serve.DwellRequest{Floor: *floor, T0: *t0, T1: *t1})
 	if err != nil {
 		return err
 	}

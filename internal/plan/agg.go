@@ -1,0 +1,242 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"vita/internal/colstore"
+	"vita/internal/trajectory"
+)
+
+// aggFn discriminates the reduction functions.
+type aggFn int
+
+const (
+	aggCount aggFn = iota
+	aggSum
+	aggMin
+	aggMax
+	aggAvg
+)
+
+func (f aggFn) String() string {
+	switch f {
+	case aggCount:
+		return "count"
+	case aggSum:
+		return "sum"
+	case aggMin:
+		return "min"
+	case aggMax:
+		return "max"
+	default:
+		return "avg"
+	}
+}
+
+// AggSpec is one aggregate of an Aggregate node: reduce the src column with
+// fn and write the result into the dst column of the group's output row.
+// Build specs with CountInto, Sum, Min, Max, or Avg.
+type AggSpec struct {
+	fn  aggFn
+	src Col
+	dst Col
+}
+
+// CountInto counts the rows of each group into dst. Counting the output of
+// a finer-grained Aggregate gives distinct counts — e.g. grouping by
+// (partition, object) then by partition with CountInto(ColObjID) yields
+// distinct objects per partition.
+func CountInto(dst Col) AggSpec { return AggSpec{fn: aggCount, dst: dst} }
+
+// Sum sums the numeric src column into dst.
+func Sum(src, dst Col) AggSpec { return AggSpec{fn: aggSum, src: src, dst: dst} }
+
+// Min keeps the minimum of the numeric src column in dst (0 for empty input).
+func Min(src, dst Col) AggSpec { return AggSpec{fn: aggMin, src: src, dst: dst} }
+
+// Max keeps the maximum of the numeric src column in dst (0 for empty input).
+func Max(src, dst Col) AggSpec { return AggSpec{fn: aggMax, src: src, dst: dst} }
+
+// Avg averages the numeric src column into dst (0 for empty input).
+func Avg(src, dst Col) AggSpec { return AggSpec{fn: aggAvg, src: src, dst: dst} }
+
+// aggState is one aggregate's accumulator within one group.
+type aggState struct {
+	count    int64
+	sum      float64
+	min, max float64
+	seen     bool
+}
+
+func (st *aggState) add(v float64) {
+	st.count++
+	st.sum += v
+	if !st.seen || v < st.min {
+		st.min = v
+	}
+	if !st.seen || v > st.max {
+		st.max = v
+	}
+	st.seen = true
+}
+
+func (st *aggState) result(fn aggFn) float64 {
+	switch fn {
+	case aggCount:
+		return float64(st.count)
+	case aggSum:
+		return st.sum
+	case aggMin:
+		return st.min
+	case aggMax:
+		return st.max
+	default:
+		if st.count == 0 {
+			return 0
+		}
+		return st.sum / float64(st.count)
+	}
+}
+
+// aggGroup is one hash bucket: the group-by column values (as a zeroed
+// representative row) plus one accumulator per spec.
+type aggGroup struct {
+	rep    trajectory.Sample
+	repVal float64
+	states []aggState
+}
+
+// hashAggOp drains its child into a hash table keyed by the group-by
+// columns, then emits one row per group in ascending key order — sorted
+// emission (not map order) keeps plans deterministic. Output rows carry the
+// group-by values; all other columns are zero until an AggSpec writes its
+// dst into them.
+type hashAggOp struct {
+	child  Operator
+	by     []Col
+	aggs   []AggSpec
+	done   bool
+	bc     batchCols
+	keyBuf []byte
+}
+
+func newHashAggOp(child Operator, by []Col, aggs []AggSpec) (Operator, error) {
+	if len(by) == 0 {
+		return nil, fmt.Errorf("plan: Aggregate needs at least one group-by column")
+	}
+	for _, a := range aggs {
+		if a.fn != aggCount && a.src.isString() {
+			return nil, fmt.Errorf("plan: %s over string column %s", a.fn, a.src)
+		}
+		if a.dst.isString() {
+			return nil, fmt.Errorf("plan: aggregate destination %s is not numeric", a.dst)
+		}
+	}
+	return &hashAggOp{child: child, by: by, aggs: aggs}, nil
+}
+
+// groupRep copies only the group-by columns of row i into a zeroed
+// representative row.
+func (h *hashAggOp) groupRep(b *Batch, i int) (trajectory.Sample, float64) {
+	var rep trajectory.Sample
+	var repVal float64
+	s := b.Traj.Row(i)
+	for _, c := range h.by {
+		switch c {
+		case ColObjID:
+			rep.ObjID = s.ObjID
+		case ColBuilding:
+			rep.Loc.Building = s.Loc.Building
+		case ColFloor:
+			rep.Loc.Floor = s.Loc.Floor
+		case ColPartition:
+			rep.Loc.Partition = s.Loc.Partition
+		case ColX:
+			rep.Loc.Point.X = s.Loc.Point.X
+		case ColY:
+			rep.Loc.Point.Y = s.Loc.Point.Y
+		case ColT:
+			rep.T = s.T
+		case ColVal:
+			repVal = colNum(b, ColVal, i)
+		}
+	}
+	return rep, repVal
+}
+
+func (h *hashAggOp) build() bool {
+	groups := make(map[string]*aggGroup)
+	for h.child.Next() {
+		in := h.child.Batch()
+		for i := 0; i < in.Len(); i++ {
+			h.keyBuf = h.keyBuf[:0]
+			for _, c := range h.by {
+				h.keyBuf = appendColKey(h.keyBuf, in, c, i)
+			}
+			g := groups[string(h.keyBuf)]
+			if g == nil {
+				g = &aggGroup{states: make([]aggState, len(h.aggs))}
+				g.rep, g.repVal = h.groupRep(in, i)
+				groups[string(h.keyBuf)] = g
+			}
+			for j, a := range h.aggs {
+				var v float64
+				if a.fn != aggCount {
+					v = colNum(in, a.src, i)
+				}
+				g.states[j].add(v)
+			}
+		}
+	}
+	if h.child.Err() != nil {
+		return false
+	}
+
+	ordered := make([]*aggGroup, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		for _, c := range h.by {
+			if cmp := sampleColCompare(a.rep, a.repVal, b.rep, b.repVal, c); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+
+	useVal := false
+	for _, c := range h.by {
+		if c == ColVal {
+			useVal = true
+		}
+	}
+	for _, a := range h.aggs {
+		if a.dst == ColVal {
+			useVal = true
+		}
+	}
+	h.bc.reset(useVal)
+	for r, g := range ordered {
+		h.bc.appendRow(g.rep, g.repVal)
+		for j, a := range h.aggs {
+			setColNum(&h.bc, a.dst, r, g.states[j].result(a.fn))
+		}
+	}
+	return h.bc.len() > 0
+}
+
+func (h *hashAggOp) Next() bool {
+	if h.done {
+		return false
+	}
+	h.done = true
+	return h.build()
+}
+
+func (h *hashAggOp) Batch() *Batch             { return h.bc.batch() }
+func (h *hashAggOp) Err() error                { return h.child.Err() }
+func (h *hashAggOp) Stats() colstore.ScanStats { return h.child.Stats() }
+func (h *hashAggOp) Close() error              { return h.child.Close() }

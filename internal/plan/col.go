@@ -1,0 +1,184 @@
+package plan
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+
+	"vita/internal/trajectory"
+)
+
+// Col names one column of the batch dataflow — the seven trajectory columns
+// plus the derived Val column. Operators that take column arguments
+// (Project, Aggregate, OrderBy, Join) address columns through these
+// constants.
+type Col int
+
+const (
+	ColObjID Col = iota
+	ColBuilding
+	ColFloor
+	ColPartition
+	ColX
+	ColY
+	ColT
+	ColVal
+	numCols
+)
+
+func (c Col) String() string {
+	switch c {
+	case ColObjID:
+		return "obj"
+	case ColBuilding:
+		return "building"
+	case ColFloor:
+		return "floor"
+	case ColPartition:
+		return "partition"
+	case ColX:
+		return "x"
+	case ColY:
+		return "y"
+	case ColT:
+		return "t"
+	case ColVal:
+		return "val"
+	default:
+		return "?"
+	}
+}
+
+// isString reports whether the column holds strings (everything else reads
+// and writes as float64 through colNum/setColNum).
+func (c Col) isString() bool { return c == ColBuilding || c == ColPartition }
+
+// colMask is a keep-set of columns; 0 means "all columns".
+type colMask uint32
+
+func maskOf(cols []Col) colMask {
+	var m colMask
+	for _, c := range cols {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+func (m colMask) has(c Col) bool { return m == 0 || m&(1<<uint(c)) != 0 }
+
+// colNum returns the numeric view of column c in row i (string columns read
+// as 0; a missing Val column reads as 0).
+func colNum(b *Batch, c Col, i int) float64 {
+	switch c {
+	case ColObjID:
+		return float64(b.Traj.ObjID[i])
+	case ColFloor:
+		return float64(b.Traj.Floor[i])
+	case ColX:
+		return b.Traj.X[i]
+	case ColY:
+		return b.Traj.Y[i]
+	case ColT:
+		return b.Traj.T[i]
+	case ColVal:
+		if i < len(b.Val) {
+			return b.Val[i]
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// colStr returns the string view of column c in row i ("" for non-string
+// columns).
+func colStr(b *Batch, c Col, i int) string {
+	switch c {
+	case ColBuilding:
+		return b.Traj.Building[i]
+	case ColPartition:
+		return b.Traj.Partition[i]
+	default:
+		return ""
+	}
+}
+
+// appendColKey appends an unambiguous encoding of column c in row i to dst —
+// strings are length-prefixed, numbers are 8 fixed bytes — so concatenating
+// the encodings of a fixed column list yields a collision-free hash key.
+func appendColKey(dst []byte, b *Batch, c Col, i int) []byte {
+	if c.isString() {
+		s := colStr(b, c, i)
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	}
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(colNum(b, c, i)))
+}
+
+// sampleColNum and sampleColStr are the row-materialized counterparts of
+// colNum/colStr, used where group representatives are held as Samples.
+func sampleColNum(s trajectory.Sample, val float64, c Col) float64 {
+	switch c {
+	case ColObjID:
+		return float64(s.ObjID)
+	case ColFloor:
+		return float64(s.Loc.Floor)
+	case ColX:
+		return s.Loc.Point.X
+	case ColY:
+		return s.Loc.Point.Y
+	case ColT:
+		return s.T
+	case ColVal:
+		return val
+	default:
+		return 0
+	}
+}
+
+func sampleColStr(s trajectory.Sample, c Col) string {
+	switch c {
+	case ColBuilding:
+		return s.Loc.Building
+	case ColPartition:
+		return s.Loc.Partition
+	default:
+		return ""
+	}
+}
+
+// sampleColCompare orders two materialized rows by column c: lexicographic
+// for strings, numeric otherwise.
+func sampleColCompare(a trajectory.Sample, av float64, b trajectory.Sample, bv float64, c Col) int {
+	if c.isString() {
+		return strings.Compare(sampleColStr(a, c), sampleColStr(b, c))
+	}
+	x, y := sampleColNum(a, av, c), sampleColNum(b, bv, c)
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// setColNum writes v into numeric column c of row i of a scratch batch the
+// operator owns (aggregate destinations).
+func setColNum(tb *batchCols, c Col, i int, v float64) {
+	switch c {
+	case ColObjID:
+		tb.traj.ObjID[i] = int64(v)
+	case ColFloor:
+		tb.traj.Floor[i] = int64(v)
+	case ColX:
+		tb.traj.X[i] = v
+	case ColY:
+		tb.traj.Y[i] = v
+	case ColT:
+		tb.traj.T[i] = v
+	case ColVal:
+		tb.val[i] = v
+	}
+}

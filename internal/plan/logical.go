@@ -1,0 +1,260 @@
+package plan
+
+import (
+	"fmt"
+
+	"vita/internal/colstore"
+)
+
+// nodeKind discriminates logical plan nodes.
+type nodeKind int
+
+const (
+	nodeScan nodeKind = iota
+	nodeFilter
+	nodeProject
+	nodeTimeBucket
+	nodeDerive
+	nodeAggregate
+	nodeOrderBy
+	nodeLimit
+	nodeJoin
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case nodeScan:
+		return "Scan"
+	case nodeFilter:
+		return "Filter"
+	case nodeProject:
+		return "Project"
+	case nodeTimeBucket:
+		return "TimeBucket"
+	case nodeDerive:
+		return "Derive"
+	case nodeAggregate:
+		return "Aggregate"
+	case nodeOrderBy:
+		return "OrderBy"
+	case nodeLimit:
+		return "Limit"
+	default:
+		return "Join"
+	}
+}
+
+// Plan is a logical operator tree, built fluently from NewScan and compiled
+// into a physical Operator chain with Compile. Plans are immutable once
+// built; each builder method returns a new node wrapping its receiver.
+type Plan struct {
+	kind   nodeKind
+	input  *Plan      // nil for Scan
+	src    Source     // Scan
+	preds  []Pred     // Filter
+	cols   []Col      // Project keep-set / Aggregate group-by / Join keys
+	width  float64    // TimeBucket
+	derive DeriveFunc // Derive
+	aggs   []AggSpec  // Aggregate
+	keys   []SortKey  // OrderBy
+	n      int        // Limit
+	right  *Plan      // Join build side
+}
+
+// NewScan starts a plan at a leaf Source.
+func NewScan(src Source) *Plan { return &Plan{kind: nodeScan, src: src} }
+
+// Filter keeps rows matching every predicate (conjunction). Structured
+// predicates adjacent to the scan push down into block pruning at Compile.
+func (p *Plan) Filter(preds ...Pred) *Plan {
+	return &Plan{kind: nodeFilter, input: p, preds: preds}
+}
+
+// Project keeps only the given columns, zeroing the rest (row count is
+// unchanged). Projection bounds what downstream operators and result
+// materialization touch.
+func (p *Plan) Project(cols ...Col) *Plan {
+	return &Plan{kind: nodeProject, input: p, cols: cols}
+}
+
+// TimeBucket replaces each row's timestamp with the start of its
+// width-second bucket (floor(T/width)*width) — the usual prelude to
+// time-grouped aggregation or temporal joins.
+func (p *Plan) TimeBucket(width float64) *Plan {
+	return &Plan{kind: nodeTimeBucket, input: p, width: width}
+}
+
+// Derive computes the Val column batch-by-batch with fn (see DeriveFunc).
+func (p *Plan) Derive(fn DeriveFunc) *Plan {
+	return &Plan{kind: nodeDerive, input: p, derive: fn}
+}
+
+// Aggregate hash-groups rows by the groupBy columns and reduces each group
+// with the given aggregates. Groups are emitted in ascending group-key order
+// (typed comparison column by column), so output is deterministic.
+func (p *Plan) Aggregate(groupBy []Col, aggs ...AggSpec) *Plan {
+	return &Plan{kind: nodeAggregate, input: p, cols: groupBy, aggs: aggs}
+}
+
+// OrderBy sorts all rows by the given keys (blocking; stable).
+func (p *Plan) OrderBy(keys ...SortKey) *Plan {
+	return &Plan{kind: nodeOrderBy, input: p, keys: keys}
+}
+
+// Limit stops after n rows.
+func (p *Plan) Limit(n int) *Plan {
+	return &Plan{kind: nodeLimit, input: p, n: n}
+}
+
+// Join hash-joins the plan (probe side) against right (build side) on
+// equality of the given columns — e.g. Join(other, ColPartition, ColT) after
+// TimeBucket on both sides finds co-located objects per time bucket. Each
+// output row is the probe row with Val set to the matching build row's
+// object ID.
+func (p *Plan) Join(right *Plan, on ...Col) *Plan {
+	return &Plan{kind: nodeJoin, input: p, right: right, cols: on}
+}
+
+// By is sugar for an Aggregate group-by column list.
+func By(cols ...Col) []Col { return cols }
+
+// Compiled is an executable plan: the physical operator tree plus what the
+// planner pushed into each scan leaf. It satisfies Operator; drive it with
+// Next/Batch or hand it to CollectSamples/CollectRows.
+type Compiled struct {
+	root Operator
+	// scanPreds holds the block predicate pushed into each Scan leaf, in
+	// left-to-right leaf order.
+	scanPreds []colstore.Predicate
+}
+
+// ScanPred returns the block predicate the planner pushed into the first
+// (probe-side) scan leaf. Callers that cache by predicate (internal/serve)
+// use it as the cache key, so identical logical plans share index entries.
+func (c *Compiled) ScanPred() colstore.Predicate { return c.scanPreds[0] }
+
+// ScanPreds returns the pushed predicate of every scan leaf (joins have
+// two or more).
+func (c *Compiled) ScanPreds() []colstore.Predicate { return c.scanPreds }
+
+func (c *Compiled) Next() bool                { return c.root.Next() }
+func (c *Compiled) Batch() *Batch             { return c.root.Batch() }
+func (c *Compiled) Err() error                { return c.root.Err() }
+func (c *Compiled) Stats() colstore.ScanStats { return c.root.Stats() }
+func (c *Compiled) Close() error              { return c.root.Close() }
+
+// Compile runs the planner and returns the executable plan. The planner's
+// rewrites, in order:
+//
+//  1. adjacent Filter nodes merge into one conjunction;
+//  2. every structured conjunct in the filter chain directly above a Scan
+//     moves into the scan's colstore.Predicate (exact pushdown — time
+//     windows intersect, floor/box/object claim their slot), so zone maps
+//     prune blocks before decode;
+//  3. a residual Filter fuses with a directly-following Project into one
+//     filterProject pass over each batch.
+//
+// Pushdown is semantics-preserving by construction: Pred.match and
+// colstore.Predicate.MatchTrajectory agree on every structured kind, so the
+// same rows survive whether a conjunct runs in the scan or as a residual.
+func (p *Plan) Compile() (*Compiled, error) {
+	c := &Compiled{}
+	root, err := c.compile(p)
+	if err != nil {
+		return nil, err
+	}
+	c.root = root
+	return c, nil
+}
+
+// compile lowers one logical chain to a physical operator, recording scan
+// predicates on c as it reaches the leaves.
+func (c *Compiled) compile(p *Plan) (Operator, error) {
+	// Flatten the linear chain leaf-first.
+	var chain []*Plan
+	for n := p; n != nil; n = n.input {
+		chain = append(chain, n)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	if chain[0].kind != nodeScan {
+		return nil, fmt.Errorf("plan: chain must start at a Scan, got %s", chain[0].kind)
+	}
+
+	// Merge the filter chain sitting directly on the scan and push every
+	// structured conjunct into the scan predicate.
+	var pred colstore.Predicate
+	var residual []Pred
+	i := 1
+	for ; i < len(chain) && chain[i].kind == nodeFilter; i++ {
+		for _, pr := range chain[i].preds {
+			if !pr.pushInto(&pred) {
+				residual = append(residual, pr)
+			}
+		}
+	}
+	c.scanPreds = append(c.scanPreds, pred)
+	var op Operator = newScanOp(chain[0].src, pred)
+
+	// Fuse the residual with a directly-following Project, if any.
+	if len(residual) > 0 {
+		if i < len(chain) && chain[i].kind == nodeProject {
+			op = newFilterProjectOp(op, residual, chain[i].cols)
+			i++
+		} else {
+			op = newFilterProjectOp(op, residual, nil)
+		}
+	}
+
+	// Lower the rest of the chain 1:1, still fusing filter+project pairs.
+	for ; i < len(chain); i++ {
+		n := chain[i]
+		switch n.kind {
+		case nodeFilter:
+			if i+1 < len(chain) && chain[i+1].kind == nodeProject {
+				op = newFilterProjectOp(op, n.preds, chain[i+1].cols)
+				i++
+			} else {
+				op = newFilterProjectOp(op, n.preds, nil)
+			}
+		case nodeProject:
+			op = newFilterProjectOp(op, nil, n.cols)
+		case nodeTimeBucket:
+			if n.width <= 0 {
+				return nil, fmt.Errorf("plan: TimeBucket width must be positive, got %g", n.width)
+			}
+			op = newTimeBucketOp(op, n.width)
+		case nodeDerive:
+			op = newDeriveOp(op, n.derive)
+		case nodeAggregate:
+			ag, err := newHashAggOp(op, n.cols, n.aggs)
+			if err != nil {
+				return nil, err
+			}
+			op = ag
+		case nodeOrderBy:
+			if len(n.keys) == 0 {
+				return nil, fmt.Errorf("plan: OrderBy needs at least one key")
+			}
+			op = newOrderByOp(op, n.keys)
+		case nodeLimit:
+			if n.n < 0 {
+				return nil, fmt.Errorf("plan: Limit must be non-negative, got %d", n.n)
+			}
+			op = newLimitOp(op, n.n)
+		case nodeJoin:
+			if len(n.cols) == 0 {
+				return nil, fmt.Errorf("plan: Join needs at least one key column")
+			}
+			rightOp, err := c.compile(n.right)
+			if err != nil {
+				return nil, err
+			}
+			op = newJoinOp(op, rightOp, n.cols)
+		default:
+			return nil, fmt.Errorf("plan: unexpected %s mid-chain", n.kind)
+		}
+	}
+	return op, nil
+}

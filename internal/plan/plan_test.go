@@ -1,0 +1,522 @@
+package plan
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"vita/internal/colstore"
+	"vita/internal/geom"
+	"vita/internal/model"
+	"vita/internal/storage"
+	"vita/internal/trajectory"
+)
+
+// planSamples builds a deterministic mixed workload: 6 objects over 500
+// seconds, two floors, three partitions, coordinates sweeping a 40×6 box.
+func planSamples() []trajectory.Sample {
+	parts := []string{"lobby", "lab", "hall"}
+	var out []trajectory.Sample
+	for t := 0; t < 500; t++ {
+		for o := 0; o < 6; o++ {
+			out = append(out, trajectory.Sample{
+				ObjID: o,
+				Loc:   model.At("hq", o%2, parts[(o+t/100)%3], geom.Pt(float64(t%40), float64(o))),
+				T:     float64(t),
+			})
+		}
+	}
+	return out
+}
+
+// writeVTB writes samples to a VTB file with small blocks so zone-map
+// pruning has something to prune.
+func writeVTB(t *testing.T, samples []trajectory.Sample) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trajectory.vtb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := colstore.NewTrajectoryWriterOptions(f, colstore.Options{BlockSize: 256})
+	for _, s := range samples {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mustCompile(t *testing.T, p *Plan) *Compiled {
+	t.Helper()
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func collect(t *testing.T, p *Plan) []trajectory.Sample {
+	t.Helper()
+	got, err := CollectSamples(mustCompile(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func sameSamples(t *testing.T, got, want []trajectory.Sample) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ObjID != want[i].ObjID || got[i].Loc != want[i].Loc ||
+			math.Float64bits(got[i].T) != math.Float64bits(want[i].T) {
+			t.Fatalf("row %d differs: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestScanParity requires a bare Scan plan to yield exactly the rows of the
+// underlying storage scan, for a VTB file, an in-memory slice, and a custom
+// cursor source.
+func TestScanParity(t *testing.T) {
+	samples := planSamples()
+	path := writeVTB(t, samples)
+
+	sources := map[string]Source{
+		"file":  FileSource{Path: path},
+		"slice": SliceSource{Samples: samples},
+		"cursor": CursorSource(func(pred colstore.Predicate) (TrajectoryCursor, error) {
+			cur, _, err := storage.OpenTrajectoryCursor(path, pred)
+			return cur, err
+		}),
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			sameSamples(t, collect(t, NewScan(src)), samples)
+		})
+	}
+}
+
+// TestPushdownPredicate checks the planner folds the leading filter chain
+// into the scan's block predicate exactly as the hand-built predicates the
+// serve layer used to construct — the cache-key parity the serve rewrite
+// relies on.
+func TestPushdownPredicate(t *testing.T) {
+	box := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(20, 15)}
+	src := SliceSource{}
+	cases := []struct {
+		name     string
+		plan     *Plan
+		want     colstore.Predicate
+		residual bool
+	}{
+		{
+			name: "range-shape",
+			plan: NewScan(src).Filter(TimeBetween(0, 30), InBox(box), OnFloor(1)),
+			want: colstore.Predicate{HasTime: true, T0: 0, T1: 30, HasBox: true, Box: box, HasFloor: true, Floor: 1},
+		},
+		{
+			name: "traj-shape",
+			plan: NewScan(src).Filter(ObjEq(3), TimeBetween(0, 60)),
+			want: colstore.Predicate{HasObj: true, Obj: 3, HasTime: true, T0: 0, T1: 60},
+		},
+		{
+			name: "windows-intersect",
+			plan: NewScan(src).Filter(TimeBetween(0, 100)).Filter(TimeBetween(50, 200)),
+			want: colstore.Predicate{HasTime: true, T0: 50, T1: 100},
+		},
+		{
+			name:     "where-stays-residual",
+			plan:     NewScan(src).Filter(TimeBetween(0, 30), Where(func(s trajectory.Sample) bool { return s.ObjID%2 == 0 })),
+			want:     colstore.Predicate{HasTime: true, T0: 0, T1: 30},
+			residual: true,
+		},
+		{
+			name:     "second-box-stays-residual",
+			plan:     NewScan(src).Filter(InBox(box), InBox(geom.BBox{Min: geom.Pt(1, 1), Max: geom.Pt(5, 5)})),
+			want:     colstore.Predicate{HasBox: true, Box: box},
+			residual: true,
+		},
+		{
+			name: "filter-after-bucket-never-pushes",
+			plan: NewScan(src).TimeBucket(60).Filter(TimeBetween(0, 30)),
+			want: colstore.Predicate{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mustCompile(t, tc.plan)
+			if got := c.ScanPred(); got != tc.want {
+				t.Errorf("ScanPred = %+v, want %+v", got, tc.want)
+			}
+			_, isScan := c.root.(*scanOp)
+			if tc.residual && isScan {
+				t.Error("expected a residual filter above the scan, got a bare scan")
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPushdownPrunesBlocks proves pushed predicates reach the zone maps: a
+// narrow time filter over a time-ordered VTB file must skip most blocks yet
+// return exactly the rows a residual filter would.
+func TestPushdownPrunesBlocks(t *testing.T) {
+	samples := planSamples()
+	path := writeVTB(t, samples)
+
+	c := mustCompile(t, NewScan(FileSource{Path: path}).Filter(TimeBetween(100, 120)))
+	got, err := CollectSamples(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := c.Stats()
+	if stats.BlocksPruned == 0 {
+		t.Errorf("no blocks pruned: %+v", stats)
+	}
+	if stats.BlocksScanned >= stats.BlocksTotal {
+		t.Errorf("pushdown scanned every block: %+v", stats)
+	}
+
+	var want []trajectory.Sample
+	for _, s := range samples {
+		if s.T >= 100 && s.T <= 120 {
+			want = append(want, s)
+		}
+	}
+	sameSamples(t, got, want)
+}
+
+// TestResidualMatchesPushdown runs the same conjunction once structured
+// (pushed down) and once wrapped in opaque Where predicates (residual); the
+// surviving rows must be identical.
+func TestResidualMatchesPushdown(t *testing.T) {
+	samples := planSamples()
+	path := writeVTB(t, samples)
+	box := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(10, 3)}
+
+	pushed := collect(t, NewScan(FileSource{Path: path}).
+		Filter(TimeBetween(50, 300), OnFloor(1), InBox(box)))
+	residual := collect(t, NewScan(FileSource{Path: path}).
+		Filter(
+			Where(func(s trajectory.Sample) bool { return s.T >= 50 && s.T <= 300 }),
+			Where(func(s trajectory.Sample) bool { return s.Loc.Floor == 1 }),
+			Where(func(s trajectory.Sample) bool { return s.Loc.HasPoint && box.Contains(s.Loc.Point) }),
+		))
+	sameSamples(t, pushed, residual)
+}
+
+// TestProject checks dropped columns read as zero values and kept ones
+// survive; dropping either coordinate clears the point.
+func TestProject(t *testing.T) {
+	samples := planSamples()[:10]
+	got := collect(t, NewScan(SliceSource{Samples: samples}).Project(ColObjID, ColT, ColPartition))
+	if len(got) != len(samples) {
+		t.Fatalf("project changed row count: %d != %d", len(got), len(samples))
+	}
+	for i, s := range got {
+		want := trajectory.Sample{ObjID: samples[i].ObjID, T: samples[i].T}
+		want.Loc.Partition = samples[i].Loc.Partition
+		if s != want {
+			t.Fatalf("row %d = %+v, want %+v", i, s, want)
+		}
+	}
+}
+
+// TestTimeBucket checks T lands on bucket starts and nothing else changes.
+func TestTimeBucket(t *testing.T) {
+	samples := planSamples()[:100]
+	got := collect(t, NewScan(SliceSource{Samples: samples}).TimeBucket(60))
+	for i, s := range got {
+		want := samples[i]
+		want.T = math.Floor(want.T/60) * 60
+		if s != want {
+			t.Fatalf("row %d = %+v, want %+v", i, s, want)
+		}
+	}
+}
+
+func rows(t *testing.T, p *Plan) []Row {
+	t.Helper()
+	got, err := CollectRows(mustCompile(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestAggregate cross-checks every aggregate function against a hand-rolled
+// oracle, and requires groups in ascending key order.
+func TestAggregate(t *testing.T) {
+	samples := planSamples()
+	src := SliceSource{Samples: samples}
+
+	got := rows(t, NewScan(src).Aggregate(By(ColPartition, ColFloor),
+		CountInto(ColVal)))
+	type key struct {
+		part  string
+		floor int
+	}
+	counts := map[key]int{}
+	for _, s := range samples {
+		counts[key{s.Loc.Partition, s.Loc.Floor}]++
+	}
+	if len(got) != len(counts) {
+		t.Fatalf("got %d groups, want %d", len(got), len(counts))
+	}
+	for i, r := range got {
+		k := key{r.Sample.Loc.Partition, r.Sample.Loc.Floor}
+		if int(r.Val) != counts[k] {
+			t.Errorf("group %v count = %g, want %d", k, r.Val, counts[k])
+		}
+		if i > 0 {
+			prev := got[i-1]
+			if prev.Sample.Loc.Partition > r.Sample.Loc.Partition ||
+				(prev.Sample.Loc.Partition == r.Sample.Loc.Partition && prev.Sample.Loc.Floor >= r.Sample.Loc.Floor) {
+				t.Errorf("groups out of order at %d: %+v after %+v", i, r.Sample, prev.Sample)
+			}
+		}
+	}
+
+	// Sum/Min/Max/Avg of X per object, dst spread across columns.
+	agg := rows(t, NewScan(src).Aggregate(By(ColObjID),
+		Sum(ColX, ColVal), Min(ColX, ColX), Max(ColX, ColY), Avg(ColT, ColT)))
+	sums := map[int]float64{}
+	mins := map[int]float64{}
+	maxs := map[int]float64{}
+	tsum := map[int]float64{}
+	n := map[int]int{}
+	for _, s := range samples {
+		o := s.ObjID
+		sums[o] += s.Loc.Point.X
+		if n[o] == 0 || s.Loc.Point.X < mins[o] {
+			mins[o] = s.Loc.Point.X
+		}
+		if n[o] == 0 || s.Loc.Point.X > maxs[o] {
+			maxs[o] = s.Loc.Point.X
+		}
+		tsum[o] += s.T
+		n[o]++
+	}
+	if len(agg) != len(n) {
+		t.Fatalf("got %d groups, want %d", len(agg), len(n))
+	}
+	for i, r := range agg {
+		o := r.Sample.ObjID
+		if i != o {
+			t.Errorf("group %d is object %d; want ascending object order", i, o)
+		}
+		if r.Val != sums[o] {
+			t.Errorf("obj %d sum = %g, want %g", o, r.Val, sums[o])
+		}
+		if r.Sample.Loc.Point.X != mins[o] || r.Sample.Loc.Point.Y != maxs[o] {
+			t.Errorf("obj %d min/max = %g/%g, want %g/%g",
+				o, r.Sample.Loc.Point.X, r.Sample.Loc.Point.Y, mins[o], maxs[o])
+		}
+		if want := tsum[o] / float64(n[o]); r.Sample.T != want {
+			t.Errorf("obj %d avg t = %g, want %g", o, r.Sample.T, want)
+		}
+	}
+}
+
+// TestAggregateValidation rejects string sources and destinations.
+func TestAggregateValidation(t *testing.T) {
+	src := SliceSource{}
+	if _, err := NewScan(src).Aggregate(By(ColObjID), Sum(ColPartition, ColVal)).Compile(); err == nil {
+		t.Error("sum over a string column compiled")
+	}
+	if _, err := NewScan(src).Aggregate(By(ColObjID), CountInto(ColPartition)).Compile(); err == nil {
+		t.Error("count into a string column compiled")
+	}
+	if _, err := NewScan(src).Aggregate(nil, CountInto(ColVal)).Compile(); err == nil {
+		t.Error("aggregate without group-by compiled")
+	}
+}
+
+// TestOrderByLimit sorts by (floor desc, t asc) and truncates.
+func TestOrderByLimit(t *testing.T) {
+	samples := planSamples()[:60]
+	got := collect(t, NewScan(SliceSource{Samples: samples}).
+		OrderBy(Desc(ColFloor), Asc(ColT)).
+		Limit(25))
+	want := append([]trajectory.Sample(nil), samples...)
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].Loc.Floor != want[j].Loc.Floor {
+			return want[i].Loc.Floor > want[j].Loc.Floor
+		}
+		return want[i].T < want[j].T
+	})
+	sameSamples(t, got, want[:25])
+}
+
+// TestLimitZero yields nothing without erroring.
+func TestLimitZero(t *testing.T) {
+	got := collect(t, NewScan(SliceSource{Samples: planSamples()}).Limit(0))
+	if len(got) != 0 {
+		t.Fatalf("limit 0 yielded %d rows", len(got))
+	}
+}
+
+// TestJoin cross-checks the hash join against a nested-loop oracle on
+// (partition, time-bucket) keys — the contact-tracing shape.
+func TestJoin(t *testing.T) {
+	samples := planSamples()[:600]
+	left := NewScan(SliceSource{Samples: samples}).Filter(ObjEq(0)).TimeBucket(30)
+	right := NewScan(SliceSource{Samples: samples}).TimeBucket(30)
+	got := rows(t, left.Join(right, ColPartition, ColT))
+
+	type pair struct {
+		t     float64
+		other int
+	}
+	var want []pair
+	bucket := func(t float64) float64 { return math.Floor(t/30) * 30 }
+	for _, l := range samples {
+		if l.ObjID != 0 {
+			continue
+		}
+		for _, r := range samples {
+			if l.Loc.Partition == r.Loc.Partition && bucket(l.T) == bucket(r.T) {
+				want = append(want, pair{bucket(l.T), r.ObjID})
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("join emitted %d rows, want %d", len(got), len(want))
+	}
+	gotPairs := make([]pair, len(got))
+	for i, r := range got {
+		gotPairs[i] = pair{r.Sample.T, int(r.Val)}
+	}
+	sort.Slice(gotPairs, func(i, j int) bool {
+		return gotPairs[i].t < gotPairs[j].t ||
+			(gotPairs[i].t == gotPairs[j].t && gotPairs[i].other < gotPairs[j].other)
+	})
+	sort.Slice(want, func(i, j int) bool {
+		return want[i].t < want[j].t ||
+			(want[i].t == want[j].t && want[i].other < want[j].other)
+	})
+	if !reflect.DeepEqual(gotPairs, want) {
+		t.Fatalf("join pairs differ: got %d, want %d", len(gotPairs), len(want))
+	}
+
+	// Join stats must include both sides' scans.
+	c := mustCompile(t, left.Join(right, ColPartition, ColT))
+	if _, err := CollectRows(c); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Stats().RowsScanned, 2*len(samples); got != want {
+		t.Errorf("join RowsScanned = %d, want %d", got, want)
+	}
+	if preds := c.ScanPreds(); len(preds) != 2 {
+		t.Errorf("join plan has %d scan preds, want 2", len(preds))
+	}
+}
+
+// TestDwellGaps checks the dwell derivation on a handcrafted visit pattern:
+// gaps within a partition accrue, partition changes and over-gap jumps
+// don't.
+func TestDwellGaps(t *testing.T) {
+	mk := func(obj int, part string, ts ...float64) []trajectory.Sample {
+		var out []trajectory.Sample
+		for _, ts := range ts {
+			out = append(out, trajectory.Sample{ObjID: obj, Loc: model.At("hq", 0, part, geom.Pt(0, 0)), T: ts})
+		}
+		return out
+	}
+	var samples []trajectory.Sample
+	samples = append(samples, mk(1, "lobby", 0, 5, 10)...) // 5+5 in lobby
+	samples = append(samples, mk(1, "lab", 12, 14)...)     // 2 in lab (12→14; 10→12 crosses partitions)
+	samples = append(samples, mk(1, "lab", 40)...)         // 14→40 exceeds maxGap
+	samples = append(samples, mk(2, "lobby", 41, 44)...)   // 3 in lobby; 40→41 crosses objects
+
+	got := rows(t, NewScan(SliceSource{Samples: samples}).
+		OrderBy(Asc(ColObjID), Asc(ColT)).
+		Derive(DwellGaps(10)).
+		Aggregate(By(ColPartition), Sum(ColVal, ColVal)))
+
+	want := map[string]float64{"lab": 2, "lobby": 13}
+	if len(got) != len(want) {
+		t.Fatalf("got %d partitions, want %d", len(got), len(want))
+	}
+	for _, r := range got {
+		if w := want[r.Sample.Loc.Partition]; r.Val != w {
+			t.Errorf("dwell[%s] = %g, want %g", r.Sample.Loc.Partition, r.Val, w)
+		}
+	}
+}
+
+// TestDistinctObjectsViaTwoLevelAggregate exercises the count-distinct
+// idiom: group by (partition, object) first, then count the groups.
+func TestDistinctObjectsViaTwoLevelAggregate(t *testing.T) {
+	samples := planSamples()
+	got := rows(t, NewScan(SliceSource{Samples: samples}).
+		Aggregate(By(ColPartition, ColObjID)).
+		Aggregate(By(ColPartition), CountInto(ColVal)))
+
+	distinct := map[string]map[int]bool{}
+	for _, s := range samples {
+		if distinct[s.Loc.Partition] == nil {
+			distinct[s.Loc.Partition] = map[int]bool{}
+		}
+		distinct[s.Loc.Partition][s.ObjID] = true
+	}
+	if len(got) != len(distinct) {
+		t.Fatalf("got %d partitions, want %d", len(got), len(distinct))
+	}
+	for _, r := range got {
+		if w := len(distinct[r.Sample.Loc.Partition]); int(r.Val) != w {
+			t.Errorf("distinct[%s] = %g, want %d", r.Sample.Loc.Partition, r.Val, w)
+		}
+	}
+}
+
+// TestOperatorsDoNotMutateInput feeds a shared (cache-like) batch source
+// through mutating-shaped operators and checks the source rows afterward.
+func TestOperatorsDoNotMutateInput(t *testing.T) {
+	samples := planSamples()[:200]
+	src := SliceSource{Samples: samples}
+	before := append([]trajectory.Sample(nil), samples...)
+
+	plans := []*Plan{
+		NewScan(src).TimeBucket(60).Filter(Where(func(s trajectory.Sample) bool { return s.ObjID == 1 })),
+		NewScan(src).OrderBy(Desc(ColT)).Limit(3),
+		NewScan(src).Derive(DwellGaps(10)).Aggregate(By(ColObjID), Sum(ColVal, ColVal)),
+	}
+	for _, p := range plans {
+		if _, err := CollectRows(mustCompile(t, p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameSamples(t, samples, before)
+}
+
+// TestCompileErrors covers the planner's validation paths.
+func TestCompileErrors(t *testing.T) {
+	src := SliceSource{}
+	bad := []*Plan{
+		NewScan(src).TimeBucket(0),
+		NewScan(src).OrderBy(),
+		NewScan(src).Limit(-1),
+		NewScan(src).Join(NewScan(src)),
+	}
+	for i, p := range bad {
+		if _, err := p.Compile(); err == nil {
+			t.Errorf("bad plan %d compiled", i)
+		}
+	}
+}

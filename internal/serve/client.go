@@ -73,6 +73,19 @@ func (c *Client) Traj(q TrajRequest) (*TrajResponse, error) {
 	return &resp, nil
 }
 
+// Dwell executes a dwell-time query on the server.
+func (c *Client) Dwell(q DwellRequest) (*DwellResponse, error) {
+	v := url.Values{}
+	v.Set("floor", strconv.Itoa(q.Floor))
+	v.Set("t0", formatFloats(q.T0))
+	v.Set("t1", formatFloats(q.T1))
+	var resp DwellResponse
+	if err := c.get("/v1/dwell", v, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Info fetches the dataset summary from the server.
 func (c *Client) Info() (*InfoResponse, error) {
 	var resp InfoResponse

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"vita/internal/colstore"
+	"vita/internal/plan"
 	"vita/internal/query"
 	"vita/internal/seglog"
 	"vita/internal/storage"
@@ -521,110 +522,6 @@ func (d *Dataset) decodeMisses(misses []blockRef, batches [][]*colstore.Trajecto
 	return nil
 }
 
-// indexFor returns the spatio-temporal index over the samples matching pred,
-// from the index cache when the same predicate (and index options) was
-// served before. On a segmented dataset the cache key carries the manifest
-// generation the index was built from, so an entry can never outlive the
-// data it summarizes: a refresh both moves the generation (new keys) and
-// clears the cache (old entries' memory).
-//
-// On a VTB dataset without a block cache (the one-shot vitaquery
-// configuration) the index is built straight from the batch cursor — the
-// per-segment cursors merged in time order when the dataset is segmented:
-// blocks decode out of the mmap regions one at a time into the index
-// builder, so peak memory beyond the finished index is one decoded batch per
-// segment — which is what Stats.PeakDecodedBytes approximates.
-func (d *Dataset) indexFor(pred colstore.Predicate) (*query.TrajectoryIndex, Stats, error) {
-	if d.format == storage.FormatCSV {
-		return d.indexForCSV(pred)
-	}
-	set := d.acquireSet()
-	if set == nil {
-		return nil, Stats{Format: string(d.format)}, errClosed
-	}
-	defer set.release()
-
-	key := predKey(pred, d.qopts)
-	if d.log != nil {
-		key = fmt.Sprintf("g%d|%s", set.gen, key)
-	}
-	if d.idx != nil {
-		if ix, ok := d.idx.get(key); ok {
-			st := Stats{Format: string(d.format), IndexCached: true}
-			if d.log != nil {
-				st.Segments = len(set.segs)
-			}
-			return ix, st, nil
-		}
-	}
-	var ix *query.TrajectoryIndex
-	var stats Stats
-	var sampleBytes int64 // approximate bytes of the matched rows
-	if d.cache == nil {
-		stats = Stats{Format: string(d.format)}
-		if d.log != nil {
-			stats.Segments = len(set.segs)
-		}
-		b := query.NewIndexBuilder(d.qopts)
-		cur := segmentCursor(set, pred)
-		for cur.Next() {
-			sampleBytes += cur.Batch().Bytes()
-			b.AddBatch(cur.Batch())
-		}
-		// Stats first so an error still reports the partial scan, like
-		// every other load path.
-		stats.Scan = cur.Stats()
-		// Peak comes from the cursor, which measures each batch before
-		// predicate filtering — the full decoded block is what was
-		// transiently resident, however few rows survived.
-		if p, ok := cur.(interface{ PeakDecodedBytes() int64 }); ok {
-			stats.PeakDecodedBytes = p.PeakDecodedBytes()
-		}
-		// Every scanned block was a decode; keep the misses-equal-decodes
-		// invariant the cached path maintains.
-		stats.CacheMisses = stats.Scan.BlocksScanned
-		if err := cur.Close(); err != nil {
-			return nil, stats, err
-		}
-		ix = b.Build()
-	} else {
-		samples, st, err := d.samplesFromSet(set, pred)
-		if err != nil {
-			return nil, st, err
-		}
-		stats = st
-		sampleBytes = samplesBytes(samples)
-		ix = query.NewTrajectoryIndex(samples, d.qopts)
-	}
-	if d.idx != nil {
-		// The index holds the samples in per-object series plus R-tree
-		// nodes and bucket structure over them; 3x the raw sample bytes is
-		// a conservative footprint estimate for the byte bound.
-		d.idx.put(key, ix, 3*sampleBytes)
-	}
-	return ix, stats, nil
-}
-
-// indexForCSV is indexFor's CSV path: no segments, no cursors, keys never
-// need a generation because the file cannot change under the server.
-func (d *Dataset) indexForCSV(pred colstore.Predicate) (*query.TrajectoryIndex, Stats, error) {
-	key := predKey(pred, d.qopts)
-	if d.idx != nil {
-		if ix, ok := d.idx.get(key); ok {
-			return ix, Stats{Format: string(d.format), IndexCached: true}, nil
-		}
-	}
-	samples, stats, err := d.Samples(pred)
-	if err != nil {
-		return nil, stats, err
-	}
-	ix := query.NewTrajectoryIndex(samples, d.qopts)
-	if d.idx != nil {
-		d.idx.put(key, ix, 3*samplesBytes(samples))
-	}
-	return ix, stats, nil
-}
-
 // predKey canonicalizes a predicate + index options into a cache key.
 // Identical keys imply identical matched samples and hence identical
 // indexes, so index-cache hits cannot change any answer.
@@ -636,13 +533,15 @@ func predKey(p colstore.Predicate, o query.Options) string {
 }
 
 // Range answers a range query: the samples inside the box/floor/window and
-// the distinct objects among them.
+// the distinct objects among them. The plan's time/box/floor filters all
+// push down into the scan predicate, so the pre-index load prunes blocks
+// exactly as the hand-built predicate did.
 func (d *Dataset) Range(q RangeRequest) (*RangeResponse, error) {
-	pred := colstore.Predicate{HasTime: true, T0: q.T0, T1: q.T1, HasBox: true, Box: q.Box}
+	preds := []plan.Pred{plan.TimeBetween(q.T0, q.T1), plan.InBox(q.Box)}
 	if q.Floor >= 0 {
-		pred.HasFloor, pred.Floor = true, q.Floor
+		preds = append(preds, plan.OnFloor(q.Floor))
 	}
-	ix, stats, err := d.indexFor(pred)
+	ix, stats, err := d.indexFor(preds...)
 	if err != nil {
 		return nil, err
 	}
@@ -664,7 +563,7 @@ func (d *Dataset) Range(q RangeRequest) (*RangeResponse, error) {
 // bracketing samples, and leaves floor filtering to the operator.
 func (d *Dataset) KNN(q KNNRequest) (*KNNResponse, error) {
 	opts := d.queryOptions()
-	ix, stats, err := d.indexFor(colstore.TimeWindow(q.T-opts.MaxGap, q.T+opts.MaxGap))
+	ix, stats, err := d.indexFor(plan.TimeBetween(q.T-opts.MaxGap, q.T+opts.MaxGap))
 	if err != nil {
 		return nil, err
 	}
@@ -674,7 +573,7 @@ func (d *Dataset) KNN(q KNNRequest) (*KNNResponse, error) {
 // Density answers a per-partition snapshot density query at an instant.
 func (d *Dataset) Density(q DensityRequest) (*DensityResponse, error) {
 	opts := d.queryOptions()
-	ix, stats, err := d.indexFor(colstore.TimeWindow(q.T-opts.MaxGap, q.T+opts.MaxGap))
+	ix, stats, err := d.indexFor(plan.TimeBetween(q.T-opts.MaxGap, q.T+opts.MaxGap))
 	if err != nil {
 		return nil, err
 	}
@@ -683,19 +582,59 @@ func (d *Dataset) Density(q DensityRequest) (*DensityResponse, error) {
 
 // Traj answers a trajectory-retrieval query for one object.
 func (d *Dataset) Traj(q TrajRequest) (*TrajResponse, error) {
-	ix, stats, err := d.indexFor(colstore.Predicate{
-		HasObj: true, Obj: q.Obj,
-		HasTime: true, T0: q.T0, T1: q.T1,
-	})
+	ix, stats, err := d.indexFor(plan.ObjEq(q.Obj), plan.TimeBetween(q.T0, q.T1))
 	if err != nil {
 		return nil, err
 	}
 	return &TrajResponse{Query: q, Samples: ix.ObjectTrajectory(q.Obj, q.T0, q.T1), Stats: stats}, nil
 }
 
+// Dwell answers dwell-time-per-room: for every partition, the total seconds
+// objects spent in it during the window, and how many distinct objects were
+// seen there. Unlike the other operators it is pure plan algebra — no
+// spatio-temporal index — composed exactly as a user of the plan package
+// would write it: filter the window (pushed down to block pruning), order
+// by (object, time), derive per-row dwell gaps, aggregate per (partition,
+// object), then roll up per partition summing seconds and counting the
+// distinct objects.
+func (d *Dataset) Dwell(q DwellRequest) (*DwellResponse, error) {
+	opts := d.queryOptions()
+	preds := []plan.Pred{plan.TimeBetween(q.T0, q.T1)}
+	if q.Floor >= 0 {
+		preds = append(preds, plan.OnFloor(q.Floor))
+	}
+	rows, stats, err := d.runPlan(func(src plan.Source) *plan.Plan {
+		return plan.NewScan(src).
+			Filter(preds...).
+			OrderBy(plan.Asc(plan.ColObjID), plan.Asc(plan.ColT)).
+			Derive(plan.DwellGaps(opts.MaxGap)).
+			Aggregate(plan.By(plan.ColPartition, plan.ColObjID), plan.Sum(plan.ColVal, plan.ColVal)).
+			Aggregate(plan.By(plan.ColPartition), plan.Sum(plan.ColVal, plan.ColVal), plan.CountInto(plan.ColObjID))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rooms := make([]DwellRoom, 0, len(rows))
+	for _, r := range rows {
+		rooms = append(rooms, DwellRoom{
+			Partition: r.Sample.Loc.Partition,
+			Seconds:   r.Val,
+			Objects:   r.Sample.ObjID,
+		})
+	}
+	// Longest-dwelled room first; name breaks ties, so output is stable.
+	sort.SliceStable(rooms, func(i, j int) bool {
+		if rooms[i].Seconds != rooms[j].Seconds {
+			return rooms[i].Seconds > rooms[j].Seconds
+		}
+		return rooms[i].Partition < rooms[j].Partition
+	})
+	return &DwellResponse{Query: q, Rooms: rooms, Stats: stats}, nil
+}
+
 // Info summarizes the dataset.
 func (d *Dataset) Info() (*InfoResponse, error) {
-	ix, stats, err := d.indexFor(colstore.Predicate{})
+	ix, stats, err := d.indexFor()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+
+	"vita/internal/colstore"
+	"vita/internal/plan"
+	"vita/internal/query"
+	"vita/internal/storage"
+	"vita/internal/trajectory"
+)
+
+// The serve operators execute as plans over internal/plan: each endpoint
+// builds a logical operator tree, the planner pushes its structured filters
+// into the scan's block predicate (which doubles as the index-cache key),
+// and planSource routes the scan leaf through whichever load path the
+// dataset is configured for — resident CSV rows, streaming CSV, cache-less
+// segment cursors, or the decoded-block cache. The load paths, their stats
+// accounting, and the answers they produce are byte-identical to the
+// pre-algebra hand-coded operators; the algebra is what makes new analytics
+// (Dwell) one plan expression instead of a new bespoke pipeline.
+
+// planSource adapts one query's view of the dataset to plan.Source. It is
+// single-use: Open is called once by the compiled plan's scan leaf, and
+// finalStats reads the load accounting after the plan drains. For VTB
+// datasets the caller pins a segment set for the query's duration and the
+// source scans exactly that generation.
+type planSource struct {
+	d   *Dataset
+	set *segmentSet // pinned by the caller; nil for CSV datasets
+
+	cur     plan.TrajectoryCursor // the opened leaf cursor
+	samples []trajectory.Sample   // materialized matched rows, when the path produces them
+	pre     *Stats                // full load stats, when the path computes them up front
+}
+
+// Open selects the dataset's load path for pred. The stats semantics of
+// each branch replicate the pre-plan implementations exactly.
+func (s *planSource) Open(pred colstore.Predicate) (plan.TrajectoryCursor, error) {
+	d := s.d
+	switch {
+	case d.format == storage.FormatCSV && d.resident != nil:
+		// Resident CSV: filter the resident rows, counting every row
+		// scanned. The matched rows are retained for index-cache byte
+		// accounting, as the materializing path always did.
+		s.cur = &memCursor{samples: d.resident, pred: pred, filter: true, keep: &s.samples}
+	case d.format == storage.FormatCSV:
+		// Streaming CSV (no cache budget): parse straight from disk.
+		cur, _, err := storage.OpenTrajectoryCursor(d.path, pred)
+		if err != nil {
+			return nil, err
+		}
+		s.cur = cur
+	case d.cache == nil:
+		// Cache-less VTB: stream the pinned segment set's blocks, merged
+		// across segments — one decoded batch per segment in flight.
+		s.cur = segmentCursor(s.set, pred)
+	default:
+		// Cached VTB: zone-map prune, pull hot blocks, decode misses
+		// block-parallel, merge to global time order — then serve the
+		// matched rows as batches with the load's stats attached.
+		samples, st, err := d.samplesFromSet(s.set, pred)
+		if err != nil {
+			return nil, err
+		}
+		s.samples = samples
+		s.pre = &st
+		s.cur = &memCursor{samples: samples, stats: st.Scan}
+	}
+	return s.cur, nil
+}
+
+// finalStats assembles the request's Stats after the plan has drained,
+// matching each load path's historical accounting.
+func (s *planSource) finalStats() Stats {
+	if s.pre != nil {
+		return *s.pre
+	}
+	d := s.d
+	st := Stats{Format: string(d.format)}
+	if s.cur == nil {
+		return st
+	}
+	st.Scan = s.cur.Stats()
+	if d.format == storage.FormatVTB {
+		// Every scanned block was a decode on the cache-less path; keep the
+		// misses-equal-decodes invariant the cached path maintains.
+		st.CacheMisses = st.Scan.BlocksScanned
+		// Peak comes from the cursor, which measures each batch before
+		// predicate filtering — the full decoded block is what was
+		// transiently resident, however few rows survived.
+		if p, ok := s.cur.(interface{ PeakDecodedBytes() int64 }); ok {
+			st.PeakDecodedBytes = p.PeakDecodedBytes()
+		}
+		if d.log != nil && s.set != nil {
+			st.Segments = len(s.set.segs)
+		}
+	}
+	return st
+}
+
+// memCursorBatch is how many rows one in-memory batch carries — the same
+// granularity as the CSV cursor, so plans see comparable batch sizes on
+// every path.
+const memCursorBatch = 4096
+
+// memCursor yields an in-memory sample slice as column batches. In filter
+// mode it applies pred row by row and counts scan stats (the resident-CSV
+// path); otherwise the rows are already filtered and stats are preset to
+// whatever the producer measured (the cached-VTB path).
+type memCursor struct {
+	samples []trajectory.Sample
+	pred    colstore.Predicate
+	filter  bool
+	keep    *[]trajectory.Sample // filter mode: collect matched rows here
+	stats   colstore.ScanStats
+	pos     int
+	batch   colstore.TrajectoryBatch
+	closed  bool
+}
+
+func (c *memCursor) Next() bool {
+	if c.closed {
+		return false
+	}
+	c.batch.Reset()
+	for c.pos < len(c.samples) && c.batch.Len() < memCursorBatch {
+		s := c.samples[c.pos]
+		c.pos++
+		if c.filter {
+			c.stats.RowsScanned++
+			if !c.pred.MatchTrajectory(s) {
+				continue
+			}
+			c.stats.RowsMatched++
+			if c.keep != nil {
+				*c.keep = append(*c.keep, s)
+			}
+		}
+		c.batch.Append(s)
+	}
+	return c.batch.Len() > 0
+}
+
+func (c *memCursor) Batch() *colstore.TrajectoryBatch { return &c.batch }
+func (c *memCursor) Err() error                       { return nil }
+func (c *memCursor) Stats() colstore.ScanStats        { return c.stats }
+func (c *memCursor) Close() error {
+	c.closed = true
+	return nil
+}
+
+// indexFor compiles a scan-and-filter plan over the dataset and resolves it
+// to the spatio-temporal index of the matching samples. The plan's pushed-
+// down scan predicate doubles as the index-cache key (generation-prefixed
+// on segmented datasets, so an entry can never outlive the data it
+// summarizes); on a miss the plan's batches stream into the index builder,
+// so the cache-less configuration never materializes the matched rows —
+// peak memory beyond the finished index is one decoded batch per segment,
+// which is what Stats.PeakDecodedBytes approximates.
+func (d *Dataset) indexFor(preds ...plan.Pred) (*query.TrajectoryIndex, Stats, error) {
+	var set *segmentSet
+	if d.format != storage.FormatCSV {
+		set = d.acquireSet()
+		if set == nil {
+			return nil, Stats{Format: string(d.format)}, errClosed
+		}
+		defer set.release()
+	}
+	src := &planSource{d: d, set: set}
+	c, err := plan.NewScan(src).Filter(preds...).Compile()
+	if err != nil {
+		return nil, Stats{Format: string(d.format)}, err
+	}
+
+	key := predKey(c.ScanPred(), d.qopts)
+	if d.log != nil {
+		key = fmt.Sprintf("g%d|%s", set.gen, key)
+	}
+	if d.idx != nil {
+		if ix, ok := d.idx.get(key); ok {
+			_ = c.Close()
+			st := Stats{Format: string(d.format), IndexCached: true}
+			if d.log != nil {
+				st.Segments = len(set.segs)
+			}
+			return ix, st, nil
+		}
+	}
+
+	b := query.NewIndexBuilder(d.qopts)
+	var sampleBytes int64 // approximate bytes of the matched rows
+	for c.Next() {
+		batch := c.Batch().Traj
+		sampleBytes += batch.Bytes()
+		b.AddBatch(batch)
+	}
+	// Stats first so an error still reports the partial scan, like every
+	// other load path.
+	stats := src.finalStats()
+	if err := c.Close(); err != nil {
+		return nil, stats, err
+	}
+	ix := b.Build()
+	if d.idx != nil {
+		if src.samples != nil {
+			sampleBytes = samplesBytes(src.samples)
+		}
+		// The index holds the samples in per-object series plus R-tree
+		// nodes and bucket structure over them; 3x the raw sample bytes is
+		// a conservative footprint estimate for the byte bound.
+		d.idx.put(key, ix, 3*sampleBytes)
+	}
+	return ix, stats, nil
+}
+
+// runPlan compiles and drains an arbitrary plan over the dataset's current
+// data — the execution path for operators that are pure algebra (Dwell)
+// rather than index lookups. build receives the scan source to anchor the
+// plan's leaf; the returned rows carry each output row's Val column.
+func (d *Dataset) runPlan(build func(plan.Source) *plan.Plan) ([]plan.Row, Stats, error) {
+	var set *segmentSet
+	if d.format != storage.FormatCSV {
+		set = d.acquireSet()
+		if set == nil {
+			return nil, Stats{Format: string(d.format)}, errClosed
+		}
+		defer set.release()
+	}
+	src := &planSource{d: d, set: set}
+	c, err := build(src).Compile()
+	if err != nil {
+		return nil, Stats{Format: string(d.format)}, err
+	}
+	rows, err := plan.CollectRows(c)
+	stats := src.finalStats()
+	if err != nil {
+		return nil, stats, err
+	}
+	return rows, stats, nil
+}

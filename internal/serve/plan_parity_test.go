@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"vita/internal/colstore"
+	"vita/internal/geom"
+	"vita/internal/query"
+	"vita/internal/storage"
+	"vita/internal/trajectory"
+)
+
+// These tests pin the plan-rewrite guarantee: every operator that used to
+// hand-build its load predicate and index now executes as a compiled plan,
+// and the answers must be byte-identical to the pre-plan pipeline. The
+// oracle re-implements that pipeline directly — hand-filter the known
+// samples with the operator's predicate, build the spatio-temporal index
+// over the survivors, ask it the same question — and the comparison is on
+// JSON bytes, the exact encoding both the HTTP API and the CLI formatters
+// consume.
+
+// referenceIndex is the pre-plan load path: filter samples row by row with
+// the hand-built predicate and index the survivors.
+func referenceIndex(samples []trajectory.Sample, pred colstore.Predicate, opts query.Options) *query.TrajectoryIndex {
+	var keep []trajectory.Sample
+	for _, s := range samples {
+		if pred.MatchTrajectory(s) {
+			keep = append(keep, s)
+		}
+	}
+	return query.NewTrajectoryIndex(keep, opts)
+}
+
+func jsonBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sameJSON(t *testing.T, name string, got, want any) {
+	t.Helper()
+	g, w := jsonBytes(t, got), jsonBytes(t, want)
+	if !bytes.Equal(g, w) {
+		t.Errorf("%s differs from reference:\ngot:  %s\nwant: %s", name, g, w)
+	}
+}
+
+// TestPlanOperatorParity checks, on every storage backend and both cache
+// configurations, that the plan-compiled operators return exactly the rows
+// the hand-built predicate + index pipeline returns.
+func TestPlanOperatorParity(t *testing.T) {
+	samples := testSamples()
+	opts := query.Options{} // Dataset is opened with zero Query options
+	box := geom.BBox{Min: geom.Pt(1.5, 0.25), Max: geom.Pt(17.75, 9.5)}
+	maxGap := query.DefaultOptions().MaxGap
+
+	backends := []struct {
+		name   string
+		format storage.Format
+		cfg    Config
+	}{
+		{"vtb-cached", storage.FormatVTB, Config{}},
+		{"vtb-streaming", storage.FormatVTB, Config{CacheBytes: -1, IndexEntries: -1}},
+		{"csv-resident", storage.FormatCSV, Config{}},
+		{"csv-streaming", storage.FormatCSV, Config{CacheBytes: -1, IndexEntries: -1}},
+	}
+	for _, be := range backends {
+		t.Run(be.name, func(t *testing.T) {
+			ds := openTestDataset(t, be.format, be.cfg)
+
+			// Range: time window + box + floor all push into the scan.
+			rq := RangeRequest{Floor: 0, Box: box, T0: 33.5, T1: 147.25}
+			rresp, err := ds.Range(rq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rix := referenceIndex(samples, colstore.Predicate{
+				HasTime: true, T0: rq.T0, T1: rq.T1,
+				HasBox: true, Box: rq.Box,
+				HasFloor: true, Floor: rq.Floor,
+			}, opts)
+			if len(rresp.Hits) == 0 {
+				t.Fatal("range matched nothing")
+			}
+			sameJSON(t, "range hits", rresp.Hits, rix.Range(rq.Floor, rq.Box, rq.T0, rq.T1))
+
+			// KNN: window widened by MaxGap, floor left to the operator.
+			kq := KNNRequest{Floor: 1, At: geom.Pt(10.125, 7.625), T: 420.5, K: 4}
+			kresp, err := ds.KNN(kq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kix := referenceIndex(samples, colstore.Predicate{
+				HasTime: true, T0: kq.T - maxGap, T1: kq.T + maxGap,
+			}, opts)
+			if len(kresp.Neighbors) == 0 {
+				t.Fatal("knn matched nothing")
+			}
+			sameJSON(t, "knn neighbors", kresp.Neighbors, kix.KNN(kq.Floor, kq.At, kq.T, kq.K))
+
+			// Density at an instant.
+			dq := DensityRequest{T: 250}
+			dresp, err := ds.Density(dq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dix := referenceIndex(samples, colstore.Predicate{
+				HasTime: true, T0: dq.T - maxGap, T1: dq.T + maxGap,
+			}, opts)
+			if len(dresp.Counts) == 0 {
+				t.Fatal("density matched nothing")
+			}
+			sameJSON(t, "density counts", dresp.Counts, dix.Density(dq.T))
+
+			// Trajectory retrieval for one object.
+			tq := TrajRequest{Obj: 5, T0: 100, T1: 500}
+			tresp, err := ds.Traj(tq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tix := referenceIndex(samples, colstore.Predicate{
+				HasObj: true, Obj: tq.Obj,
+				HasTime: true, T0: tq.T0, T1: tq.T1,
+			}, opts)
+			if len(tresp.Samples) == 0 {
+				t.Fatal("traj matched nothing")
+			}
+			sameJSON(t, "traj samples", tresp.Samples, tix.ObjectTrajectory(tq.Obj, tq.T0, tq.T1))
+
+			// Dwell against an independent row-by-row re-computation.
+			wq := DwellRequest{Floor: -1, T0: 50, T1: 450}
+			wresp, err := ds.Dwell(wq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wresp.Rooms) == 0 {
+				t.Fatal("dwell matched nothing")
+			}
+			sameJSON(t, "dwell rooms", wresp.Rooms, referenceDwell(samples, wq, maxGap))
+		})
+	}
+}
+
+// referenceDwell recomputes dwell-time-per-room without the plan layer:
+// filter the window, order by (object, time), attribute inter-sample gaps up
+// to maxGap to the partition the object stayed in, and count distinct
+// objects per partition.
+func referenceDwell(samples []trajectory.Sample, q DwellRequest, maxGap float64) []DwellRoom {
+	var rows []trajectory.Sample
+	for _, s := range samples {
+		if s.T < q.T0 || s.T > q.T1 {
+			continue
+		}
+		if q.Floor >= 0 && s.Loc.Floor != q.Floor {
+			continue
+		}
+		rows = append(rows, s)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].ObjID != rows[j].ObjID {
+			return rows[i].ObjID < rows[j].ObjID
+		}
+		return rows[i].T < rows[j].T
+	})
+	seconds := make(map[string]float64)
+	objects := make(map[string]map[int]bool)
+	for i, s := range rows {
+		if objects[s.Loc.Partition] == nil {
+			objects[s.Loc.Partition] = make(map[int]bool)
+		}
+		objects[s.Loc.Partition][s.ObjID] = true
+		if i == 0 {
+			continue
+		}
+		prev := rows[i-1]
+		dt := s.T - prev.T
+		if prev.ObjID == s.ObjID && prev.Loc.Partition == s.Loc.Partition && dt > 0 && dt <= maxGap {
+			seconds[s.Loc.Partition] += dt
+		}
+	}
+	rooms := make([]DwellRoom, 0, len(objects))
+	for part, objs := range objects {
+		rooms = append(rooms, DwellRoom{Partition: part, Seconds: seconds[part], Objects: len(objs)})
+	}
+	sort.SliceStable(rooms, func(i, j int) bool {
+		if rooms[i].Seconds != rooms[j].Seconds {
+			return rooms[i].Seconds > rooms[j].Seconds
+		}
+		return rooms[i].Partition < rooms[j].Partition
+	})
+	return rooms
+}
+
+// TestPlanStatsAccounting checks that the plan-backed operators keep each
+// load path's historical Stats semantics.
+func TestPlanStatsAccounting(t *testing.T) {
+	q := RangeRequest{Floor: 0,
+		Box: geom.BBox{Min: geom.Pt(1.5, 0.25), Max: geom.Pt(17.75, 9.5)},
+		T0:  33.5, T1: 147.25}
+
+	t.Run("vtb-streaming", func(t *testing.T) {
+		ds := openTestDataset(t, storage.FormatVTB, Config{CacheBytes: -1, IndexEntries: -1})
+		resp, err := ds.Range(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := resp.Stats
+		if st.Format != "vtb" {
+			t.Errorf("format = %q", st.Format)
+		}
+		if st.Scan.BlocksPruned == 0 || st.Scan.BlocksScanned >= st.Scan.BlocksTotal {
+			t.Errorf("pushed-down window pruned nothing: %+v", st.Scan)
+		}
+		if st.CacheMisses != st.Scan.BlocksScanned {
+			t.Errorf("cache-less path: misses %d != blocks scanned %d", st.CacheMisses, st.Scan.BlocksScanned)
+		}
+		if st.PeakDecodedBytes <= 0 {
+			t.Errorf("streaming path lost peak accounting: %+v", st)
+		}
+		if st.IndexCached {
+			t.Error("cache-less dataset claims a cached index")
+		}
+	})
+
+	t.Run("vtb-cached", func(t *testing.T) {
+		ds := openTestDataset(t, storage.FormatVTB, Config{})
+		first, err := ds.Range(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Stats.IndexCached || first.Stats.CacheMisses == 0 {
+			t.Errorf("first pass should decode blocks: %+v", first.Stats)
+		}
+		second, err := ds.Range(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !second.Stats.IndexCached {
+			t.Errorf("identical plan did not hit the index cache: %+v", second.Stats)
+		}
+		sameJSON(t, "cached-pass hits", second.Hits, first.Hits)
+	})
+
+	t.Run("csv-resident", func(t *testing.T) {
+		ds := openTestDataset(t, storage.FormatCSV, Config{})
+		resp, err := ds.Range(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := resp.Stats
+		if st.Format != "csv" {
+			t.Errorf("format = %q", st.Format)
+		}
+		if st.Scan.RowsScanned != len(testSamples()) {
+			t.Errorf("resident CSV scanned %d rows, want every row (%d)", st.Scan.RowsScanned, len(testSamples()))
+		}
+		if st.Scan.RowsMatched == 0 || st.Scan.RowsMatched >= st.Scan.RowsScanned {
+			t.Errorf("implausible match count: %+v", st.Scan)
+		}
+	})
+}
+
+// TestDwellFloorFilter pins the floor predicate: a floor-restricted dwell
+// must equal the reference computed over that floor only, and partitions
+// only visited on the other floor must vanish.
+func TestDwellFloorFilter(t *testing.T) {
+	samples := testSamples()
+	maxGap := query.DefaultOptions().MaxGap
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	q := DwellRequest{Floor: 1, T0: 0, T1: 600}
+	resp, err := ds.Dwell(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameJSON(t, "floor-filtered dwell", resp.Rooms, referenceDwell(samples, q, maxGap))
+	all, err := ds.Dwell(DwellRequest{Floor: -1, T0: 0, T1: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rooms) == 0 || len(all.Rooms) == 0 {
+		t.Fatal("dwell matched nothing")
+	}
+	var floorTotal, allTotal float64
+	for _, r := range resp.Rooms {
+		floorTotal += r.Seconds
+	}
+	for _, r := range all.Rooms {
+		allTotal += r.Seconds
+	}
+	if floorTotal >= allTotal {
+		t.Errorf("floor-filtered dwell %.1fs not below all-floors %.1fs", floorTotal, allTotal)
+	}
+}

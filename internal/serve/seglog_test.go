@@ -45,7 +45,7 @@ func appendSegmented(t *testing.T, l *seglog.Log, samples []trajectory.Sample, m
 	}
 }
 
-// operatorText runs the four operators plus info and concatenates their
+// operatorText runs the five operators plus info and concatenates their
 // exact CLI text — the byte-parity probe for single-file vs segmented.
 func operatorText(t *testing.T, ds *Dataset) string {
 	t.Helper()
@@ -70,6 +70,11 @@ func operatorText(t *testing.T, ds *Dataset) string {
 		t.Fatal(err)
 	}
 	tresp.WriteText(&buf)
+	wresp, err := ds.Dwell(DwellRequest{Floor: -1, T0: 100, T1: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp.WriteText(&buf)
 	iresp, err := ds.Info()
 	if err != nil {
 		t.Fatal(err)

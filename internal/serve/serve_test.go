@@ -226,6 +226,21 @@ func TestServerParity(t *testing.T) {
 			compareText(t, string(format)+"/traj", local, remote)
 		}
 		{
+			q := DwellRequest{Floor: -1, T0: 50, T1: 450}
+			local, err := ds.Dwell(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote, err := c.Dwell(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(local.Rooms) == 0 {
+				t.Fatalf("%s: dwell query matched nothing", format)
+			}
+			compareText(t, string(format)+"/dwell", local, remote)
+		}
+		{
 			local, err := ds.Info()
 			if err != nil {
 				t.Fatal(err)

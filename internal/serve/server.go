@@ -23,6 +23,7 @@ import (
 //	GET /v1/knn?floor=0&at=10,7.5&t=60&k=5
 //	GET /v1/density?t=60
 //	GET /v1/traj?obj=3&t0=0&t1=300
+//	GET /v1/dwell?floor=0&t0=0&t1=600
 //	GET /v1/info
 //	GET /healthz
 //	GET /statsz
@@ -52,11 +53,12 @@ const (
 	opKNN
 	opDensity
 	opTraj
+	opDwell
 	opInfo
 	opCount
 )
 
-var opNames = [opCount]string{"range", "knn", "density", "traj", "info"}
+var opNames = [opCount]string{"range", "knn", "density", "traj", "dwell", "info"}
 
 // NewServer wraps an opened dataset in an HTTP query server.
 func NewServer(ds *Dataset) *Server {
@@ -66,6 +68,7 @@ func NewServer(ds *Dataset) *Server {
 	s.mux.HandleFunc("GET /v1/knn", s.handleKNN)
 	s.mux.HandleFunc("GET /v1/density", s.handleDensity)
 	s.mux.HandleFunc("GET /v1/traj", s.handleTraj)
+	s.mux.HandleFunc("GET /v1/dwell", s.handleDwell)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -250,6 +253,30 @@ func (s *Server) handleTraj(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.track(opTraj, &resp.Stats)
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleDwell(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	q := DwellRequest{Floor: -1}
+	var err error
+	if v := r.URL.Query().Get("floor"); v != "" {
+		if q.Floor, err = strconv.Atoi(v); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad floor %q", v))
+			return
+		}
+	}
+	if q.T0, q.T1, err = parseWindow(r, 0, 1e18); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.ds.Dwell(q)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.track(opDwell, &resp.Stats)
 	s.writeJSON(w, resp)
 }
 

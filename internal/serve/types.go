@@ -163,6 +163,46 @@ func (r *TrajResponse) WriteText(w io.Writer) error {
 	return err
 }
 
+// DwellRequest asks how long objects dwelled in each partition during
+// [T0, T1]. Floor -1 includes all floors.
+type DwellRequest struct {
+	Floor int     `json:"floor"`
+	T0    float64 `json:"t0"`
+	T1    float64 `json:"t1"`
+}
+
+// DwellRoom is one partition's dwell summary.
+type DwellRoom struct {
+	Partition string `json:"partition"`
+	// Seconds is the total dwell time accumulated across all objects:
+	// consecutive same-object samples in the partition no further apart
+	// than the index's MaxGap contribute their gap.
+	Seconds float64 `json:"seconds"`
+	// Objects is how many distinct objects were observed in the partition.
+	Objects int `json:"objects"`
+}
+
+// DwellResponse carries the rooms, longest total dwell first.
+type DwellResponse struct {
+	Query DwellRequest `json:"query"`
+	Rooms []DwellRoom  `json:"rooms"`
+	Stats Stats        `json:"stats"`
+}
+
+// WriteText renders the response exactly as `vitaquery dwell` prints it.
+func (r *DwellResponse) WriteText(w io.Writer) error {
+	var total float64
+	for _, room := range r.Rooms {
+		if _, err := fmt.Fprintf(w, "%-16s %10.1f s  %d objects\n", room.Partition, room.Seconds, room.Objects); err != nil {
+			return err
+		}
+		total += room.Seconds
+	}
+	_, err := fmt.Fprintf(w, "%g s total dwell across %d partitions in [%g, %g]\n",
+		total, len(r.Rooms), r.Query.T0, r.Query.T1)
+	return err
+}
+
 // InfoResponse summarizes the dataset.
 type InfoResponse struct {
 	Samples int     `json:"samples"`

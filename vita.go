@@ -35,7 +35,9 @@ import (
 
 	"vita/internal/colstore"
 	"vita/internal/core"
+	"vita/internal/geom"
 	"vita/internal/ifc"
+	"vita/internal/plan"
 	"vita/internal/positioning"
 	"vita/internal/query"
 	"vita/internal/seglog"
@@ -382,6 +384,9 @@ type (
 	DensityResponse = serve.DensityResponse
 	TrajRequest     = serve.TrajRequest
 	TrajResponse    = serve.TrajResponse
+	DwellRequest    = serve.DwellRequest
+	DwellRoom       = serve.DwellRoom
+	DwellResponse   = serve.DwellResponse
 	InfoResponse    = serve.InfoResponse
 )
 
@@ -397,3 +402,106 @@ func OpenQueryDataset(dir string, cfg QueryServeConfig) (*QueryDataset, error) {
 // NewQueryServer wraps an opened dataset in an HTTP query server; see
 // cmd/vitaserve for the endpoint catalogue.
 func NewQueryServer(ds *QueryDataset) *QueryServer { return serve.NewServer(ds) }
+
+// --- vectorized operator algebra (internal/plan) ---
+//
+// The algebra composes relational operators over trajectory column batches:
+// build a Plan fluently from NewPlanScan, Compile it, and drain the result.
+// The planner pushes structured filter predicates into the scan (zone-map
+// block pruning on VTB files) and fuses filter+project into one pass. The
+// serve operators execute as plans over this layer; docs/ARCHITECTURE.md has
+// the full tour, and examples/algebra shows a custom analytic end to end.
+
+// QueryPlan is a logical operator tree; chain Filter/Project/TimeBucket/
+// Derive/Aggregate/OrderBy/Limit/Join and Compile to execute.
+type QueryPlan = plan.Plan
+
+// CompiledPlan is an executable plan; drive it with Next/Batch or hand it to
+// CollectPlanRows / CollectPlanSamples.
+type CompiledPlan = plan.Compiled
+
+// PlanPred is one filter predicate (see TimeBetween, OnFloor, InBox, ObjEq,
+// Where).
+type PlanPred = plan.Pred
+
+// PlanCol names one trajectory column in projections, group-bys, sorts and
+// join keys.
+type PlanCol = plan.Col
+
+// Trajectory columns, plus the plan-computed ColVal value column.
+const (
+	ColObjID     = plan.ColObjID
+	ColBuilding  = plan.ColBuilding
+	ColFloor     = plan.ColFloor
+	ColPartition = plan.ColPartition
+	ColX         = plan.ColX
+	ColY         = plan.ColY
+	ColT         = plan.ColT
+	ColVal       = plan.ColVal
+)
+
+// PlanBatch is one vector of rows flowing between plan operators.
+type PlanBatch = plan.Batch
+
+// PlanRow is one materialized output row (sample + Val column).
+type PlanRow = plan.Row
+
+// PlanAgg is one aggregate in an Aggregate node (see PlanCount, PlanSum,
+// PlanMin, PlanMax, PlanAvg).
+type PlanAgg = plan.AggSpec
+
+// PlanSortKey is one OrderBy key (see Asc, Desc).
+type PlanSortKey = plan.SortKey
+
+// PlanDeriveFunc computes the Val column for a batch in a Derive node.
+type PlanDeriveFunc = plan.DeriveFunc
+
+// PlanSource supplies a plan's scan leaf with a cursor honoring the pushed
+// predicate (see NewPlanFileSource and plan.SliceSource).
+type PlanSource = plan.Source
+
+// NewPlanScan starts a plan at a source.
+func NewPlanScan(src PlanSource) *QueryPlan { return plan.NewScan(src) }
+
+// NewPlanFileSource scans a trajectory file (CSV or VTB, detected by magic
+// bytes) as a plan leaf; on VTB the pushed predicate prunes blocks.
+func NewPlanFileSource(path string) PlanSource { return plan.FileSource{Path: path} }
+
+// NewPlanSliceSource serves in-memory samples as a plan leaf.
+func NewPlanSliceSource(samples []Sample) PlanSource { return plan.SliceSource{Samples: samples} }
+
+// Plan filter predicates. The structured kinds push down into scan pruning;
+// Where always runs as a residual filter.
+func TimeBetween(t0, t1 float64) PlanPred { return plan.TimeBetween(t0, t1) }
+func OnFloor(floor int) PlanPred          { return plan.OnFloor(floor) }
+func InBox(box geom.BBox) PlanPred        { return plan.InBox(box) }
+func ObjEq(obj int) PlanPred              { return plan.ObjEq(obj) }
+func Where(fn func(Sample) bool) PlanPred { return plan.Where(fn) }
+
+// GroupBy is sugar for an Aggregate group-by column list.
+func GroupBy(cols ...PlanCol) []PlanCol { return plan.By(cols...) }
+
+// Plan aggregates. PlanCount counts group rows into dst; the others reduce
+// src into dst.
+func PlanCount(dst PlanCol) PlanAgg    { return plan.CountInto(dst) }
+func PlanSum(src, dst PlanCol) PlanAgg { return plan.Sum(src, dst) }
+func PlanMin(src, dst PlanCol) PlanAgg { return plan.Min(src, dst) }
+func PlanMax(src, dst PlanCol) PlanAgg { return plan.Max(src, dst) }
+func PlanAvg(src, dst PlanCol) PlanAgg { return plan.Avg(src, dst) }
+
+// Sort-key constructors for OrderBy.
+func Asc(c PlanCol) PlanSortKey  { return plan.Asc(c) }
+func Desc(c PlanCol) PlanSortKey { return plan.Desc(c) }
+
+// DwellGaps returns a Derive function attributing each inter-sample gap (up
+// to maxGap seconds) to the partition the object stayed in — the core of the
+// /v1/dwell operator. Input must be ordered by (object, time).
+func DwellGaps(maxGap float64) PlanDeriveFunc { return plan.DwellGaps(maxGap) }
+
+// CollectPlanRows drains a compiled plan into materialized rows and closes
+// it.
+func CollectPlanRows(c *CompiledPlan) ([]PlanRow, error) { return plan.CollectRows(c) }
+
+// CollectPlanSamples drains a compiled plan into samples (dropping the Val
+// column) and closes it.
+func CollectPlanSamples(c *CompiledPlan) ([]Sample, error) { return plan.CollectSamples(c) }
