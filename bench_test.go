@@ -889,3 +889,77 @@ func BenchmarkVTBScanAllocs(b *testing.B) {
 		})
 	}
 }
+
+// benchReaderSource serves plan scans from an already-open reader, so a
+// benchmark measures the per-query cost (compile + cursor + drain) without
+// re-paying file open and footer parse on every iteration.
+type benchReaderSource struct{ r *colstore.TrajectoryReader }
+
+func (s benchReaderSource) Open(pred colstore.Predicate) (plan.TrajectoryCursor, error) {
+	return s.r.Cursor(pred), nil
+}
+
+// BenchmarkPlanTraceOverhead is the pay-for-what-you-use gate for
+// per-operator query tracing: a plan compiled WITHOUT tracing must cost the
+// same small constant number of steady-state allocations it cost before
+// tracing existed — no spans, no timing wrappers, nothing O(rows) or
+// O(blocks). Opting in (CompileTraced) may only add a per-operator constant
+// on top: one span and one wrapper per operator, never per-row or per-block
+// work. Both gates fail the build on regression.
+func BenchmarkPlanTraceOverhead(b *testing.B) {
+	path, _ := vtbBenchFile(b, colstore.Options{BlockSize: 1024, NoCompress: true})
+	r, err := colstore.OpenTrajectory(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	src := benchReaderSource{r: r}
+	scan := func(traced bool) {
+		p := plan.NewScan(src).Filter(plan.TimeBetween(100, 160))
+		var c *plan.Compiled
+		var err error
+		if traced {
+			c, err = p.CompileTraced()
+		} else {
+			c, err = p.Compile()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for c.Next() {
+			rows += c.Batch().Traj.Len()
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if rows == 0 {
+			b.Fatal("plan scan matched nothing")
+		}
+		if traced == (c.Trace() == nil) {
+			b.Fatal("trace presence does not match the compile mode")
+		}
+	}
+	scan(false) // steady state: scratch pools filled, strings interned
+	scan(true)
+	untraced := testing.AllocsPerRun(10, func() { scan(false) })
+	traced := testing.AllocsPerRun(10, func() { scan(true) })
+	// The untraced budget is the plan-scan constant (compile nodes + cursor +
+	// batch bookkeeping) with GC slack; an O(rows) or O(blocks) regression
+	// overshoots it immediately.
+	const untracedBudget = 64
+	if untraced > untracedBudget {
+		b.Fatalf("untraced plan scan costs %.0f allocs, budget %d — tracing is no longer free when off",
+			untraced, untracedBudget)
+	}
+	if delta := traced - untraced; delta > 32 {
+		b.Fatalf("tracing adds %.0f allocs per query; want a small per-operator constant", delta)
+	}
+	b.ReportMetric(untraced, "allocs/untraced")
+	b.ReportMetric(traced-untraced, "allocs/trace-delta")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan(false)
+	}
+}

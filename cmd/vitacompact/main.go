@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"vita/internal/obs"
 	"vita/internal/seglog"
 )
 
@@ -35,7 +36,11 @@ func run() error {
 	dataDir := flag.String("data", "out", "dataset directory (or a segment log directory)")
 	minSegments := flag.Int("min-segments", 2, "merge only when at least this many segments are live")
 	useMmap := flag.Bool("mmap", true, "memory-map merge inputs (false = plain file reads)")
+	logOpts := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(os.Stderr); err != nil {
+		return err
+	}
 
 	var logDirs []string
 	if seglog.IsLog(*dataDir) {

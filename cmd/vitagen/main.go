@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"vita/internal/core"
+	"vita/internal/obs"
 	"vita/internal/render"
 	"vita/internal/seglog"
 	"vita/internal/storage"
@@ -57,7 +58,11 @@ func run() error {
 		segMB      = flag.Float64("segment-mb", 0, "write bulk outputs as a live segment log, rolling segments at this many MiB (vtb only; 0 = flat files)")
 		segRows    = flag.Int("segment-rows", 0, "additionally roll segments after this many rows (implies a segment log; vtb only)")
 	)
+	logOpts := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(os.Stderr); err != nil {
+		return err
+	}
 
 	if *printDef {
 		enc := json.NewEncoder(os.Stdout)

@@ -32,6 +32,11 @@
 // byte-identical to local execution (watch excepted — it needs the raw
 // sample stream and stays local-only).
 //
+// -trace prints the per-operator execution trace — rows, batches, wall time,
+// and zone-map pruning per operator — on stderr, locally or against a server
+// (the daemon returns the span tree when asked with trace=1). Stdout is
+// unchanged, so traced and untraced runs stay byte-identical where it counts.
+//
 // watch replays the dataset sample-by-sample through a standing range query
 // and prints every enter/move/exit transition — the online half of the
 // engine.
@@ -45,6 +50,7 @@ import (
 	"sort"
 
 	"vita/internal/colstore"
+	"vita/internal/obs"
 	"vita/internal/query"
 	"vita/internal/serve"
 	"vita/internal/trajectory"
@@ -67,7 +73,7 @@ type backend interface {
 	Density(serve.DensityRequest) (*serve.DensityResponse, error)
 	Traj(serve.TrajRequest) (*serve.TrajResponse, error)
 	Dwell(serve.DwellRequest) (*serve.DwellResponse, error)
-	Info() (*serve.InfoResponse, error)
+	Info(trace bool) (*serve.InfoResponse, error)
 }
 
 func run() error {
@@ -77,7 +83,12 @@ func run() error {
 	maxGap := flag.Float64("maxgap", 10, "max sample gap in seconds for instant queries (local mode)")
 	parallelism := flag.Int("parallelism", 0, "block-decode workers for local VTB loads (0 = GOMAXPROCS)")
 	useMmap := flag.Bool("mmap", true, "memory-map local VTB files (false = plain file reads)")
+	trace := flag.Bool("trace", false, "print the per-operator execution trace on stderr (stdout is unchanged)")
+	logOpts := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logOpts.Setup(os.Stderr); err != nil {
+		return err
+	}
 	if flag.NArg() == 0 {
 		return fmt.Errorf("missing subcommand: range | knn | density | traj | dwell | watch | info")
 	}
@@ -106,22 +117,22 @@ func run() error {
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "range":
-		return runRange(be, ds, args)
+		return runRange(be, ds, *trace, args)
 	case "knn":
-		return runKNN(be, ds, args)
+		return runKNN(be, ds, *trace, args)
 	case "density":
-		return runDensity(be, ds, args)
+		return runDensity(be, ds, *trace, args)
 	case "traj":
-		return runTraj(be, ds, args)
+		return runTraj(be, ds, *trace, args)
 	case "dwell":
-		return runDwell(be, ds, args)
+		return runDwell(be, ds, *trace, args)
 	case "watch":
 		if ds == nil {
 			return fmt.Errorf("watch needs the raw sample stream and is not supported with -server")
 		}
 		return runWatch(ds, args)
 	case "info":
-		return runInfo(be, ds)
+		return runInfo(be, ds, *trace)
 	}
 	return fmt.Errorf("unknown subcommand %q", cmd)
 }
@@ -143,7 +154,18 @@ func reportStats(ds *serve.Dataset, st serve.Stats) {
 	fmt.Fprintln(os.Stderr, line)
 }
 
-func runRange(be backend, ds *serve.Dataset, args []string) error {
+// reportTrace renders the per-operator span tree on stderr when -trace asked
+// for one. Stdout stays byte-identical to an untraced run: the trace is
+// diagnostics, not part of the answer.
+func reportTrace(span *obs.Span) {
+	if span == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "vitaquery: trace:")
+	span.WriteTree(os.Stderr)
+}
+
+func runRange(be backend, ds *serve.Dataset, trace bool, args []string) error {
 	fs := flag.NewFlagSet("range", flag.ExitOnError)
 	floor := fs.Int("floor", -1, "floor to search (-1 = all)")
 	boxStr := fs.String("box", "", "spatial box x0,y0,x1,y1 (required)")
@@ -156,15 +178,16 @@ func runRange(be backend, ds *serve.Dataset, args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := be.Range(serve.RangeRequest{Floor: *floor, Box: box, T0: *t0, T1: *t1})
+	resp, err := be.Range(serve.RangeRequest{Floor: *floor, Box: box, T0: *t0, T1: *t1, Trace: trace})
 	if err != nil {
 		return err
 	}
 	reportStats(ds, resp.Stats)
+	reportTrace(resp.Trace)
 	return resp.WriteText(os.Stdout)
 }
 
-func runKNN(be backend, ds *serve.Dataset, args []string) error {
+func runKNN(be backend, ds *serve.Dataset, trace bool, args []string) error {
 	fs := flag.NewFlagSet("knn", flag.ExitOnError)
 	floor := fs.Int("floor", 0, "floor to search")
 	atStr := fs.String("at", "", "query point x,y (required)")
@@ -177,29 +200,31 @@ func runKNN(be backend, ds *serve.Dataset, args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := be.KNN(serve.KNNRequest{Floor: *floor, At: p, T: *t, K: *k})
+	resp, err := be.KNN(serve.KNNRequest{Floor: *floor, At: p, T: *t, K: *k, Trace: trace})
 	if err != nil {
 		return err
 	}
 	reportStats(ds, resp.Stats)
+	reportTrace(resp.Trace)
 	return resp.WriteText(os.Stdout)
 }
 
-func runDensity(be backend, ds *serve.Dataset, args []string) error {
+func runDensity(be backend, ds *serve.Dataset, trace bool, args []string) error {
 	fs := flag.NewFlagSet("density", flag.ExitOnError)
 	t := fs.Float64("t", 0, "snapshot instant (s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	resp, err := be.Density(serve.DensityRequest{T: *t})
+	resp, err := be.Density(serve.DensityRequest{T: *t, Trace: trace})
 	if err != nil {
 		return err
 	}
 	reportStats(ds, resp.Stats)
+	reportTrace(resp.Trace)
 	return resp.WriteText(os.Stdout)
 }
 
-func runTraj(be backend, ds *serve.Dataset, args []string) error {
+func runTraj(be backend, ds *serve.Dataset, trace bool, args []string) error {
 	fs := flag.NewFlagSet("traj", flag.ExitOnError)
 	obj := fs.Int("obj", 0, "object ID")
 	t0 := fs.Float64("t0", 0, "window start (s)")
@@ -207,15 +232,16 @@ func runTraj(be backend, ds *serve.Dataset, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	resp, err := be.Traj(serve.TrajRequest{Obj: *obj, T0: *t0, T1: *t1})
+	resp, err := be.Traj(serve.TrajRequest{Obj: *obj, T0: *t0, T1: *t1, Trace: trace})
 	if err != nil {
 		return err
 	}
 	reportStats(ds, resp.Stats)
+	reportTrace(resp.Trace)
 	return resp.WriteText(os.Stdout)
 }
 
-func runDwell(be backend, ds *serve.Dataset, args []string) error {
+func runDwell(be backend, ds *serve.Dataset, trace bool, args []string) error {
 	fs := flag.NewFlagSet("dwell", flag.ExitOnError)
 	floor := fs.Int("floor", -1, "floor to analyze (-1 = all)")
 	t0 := fs.Float64("t0", 0, "window start (s)")
@@ -223,11 +249,12 @@ func runDwell(be backend, ds *serve.Dataset, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	resp, err := be.Dwell(serve.DwellRequest{Floor: *floor, T0: *t0, T1: *t1})
+	resp, err := be.Dwell(serve.DwellRequest{Floor: *floor, T0: *t0, T1: *t1, Trace: trace})
 	if err != nil {
 		return err
 	}
 	reportStats(ds, resp.Stats)
+	reportTrace(resp.Trace)
 	return resp.WriteText(os.Stdout)
 }
 
@@ -269,11 +296,12 @@ func runWatch(ds *serve.Dataset, args []string) error {
 	return nil
 }
 
-func runInfo(be backend, ds *serve.Dataset) error {
-	resp, err := be.Info()
+func runInfo(be backend, ds *serve.Dataset, trace bool) error {
+	resp, err := be.Info(trace)
 	if err != nil {
 		return err
 	}
 	reportStats(ds, resp.Stats)
+	reportTrace(resp.Trace)
 	return resp.WriteText(os.Stdout)
 }

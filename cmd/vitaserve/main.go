@@ -10,9 +10,11 @@
 //	GET /v1/knn?floor=0&at=10,7.5&t=60&k=5
 //	GET /v1/density?t=60
 //	GET /v1/traj?obj=3&t0=0&t1=300
+//	GET /v1/dwell?floor=0&t0=0&t1=600
 //	GET /v1/info
 //	GET /healthz
 //	GET /statsz
+//	GET /metricsz
 //	GET /debug/pprof/*   (only with -pprof)
 //
 // The VTB file is memory-mapped by default so cache-miss block decodes read
@@ -30,8 +32,17 @@
 //
 // Responses are JSON and embed per-request scan stats (blocks pruned and
 // decoded, cache hits and misses); /statsz aggregates them over the daemon's
-// lifetime. `vitaquery -server URL` sends the same operators here and prints
+// lifetime and /metricsz exposes the same counters (plus request-latency
+// histograms, cache and seglog series, and build info) in Prometheus text
+// format. `vitaquery -server URL` sends the same operators here and prints
 // output byte-identical to local execution.
+//
+// Observability: logs are structured (-log-format text|json, -log-level);
+// every request carries an X-Request-Id (honored if the client sent one)
+// that the request log and error bodies echo. Any /v1 request with ?trace=1
+// returns a per-operator execution trace in the response; -slow-query logs
+// the same trace for requests over the threshold. -version prints the build
+// identity (set via -ldflags "-X vita/internal/obs.Version=...") and exits.
 //
 // SIGINT or SIGTERM stops the daemon gracefully: the listener closes,
 // in-flight requests drain (up to -drain), then the process exits 0.
@@ -41,11 +52,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"syscall"
 	"time"
 
+	"vita/internal/obs"
 	"vita/internal/query"
 	"vita/internal/seglog"
 	"vita/internal/serve"
@@ -72,7 +85,19 @@ func run() error {
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes internals; keep off on untrusted networks)")
 	watch := flag.Duration("watch", time.Second, "manifest poll interval for live segmented datasets (0 disables refresh)")
 	compactEvery := flag.Duration("compact", 0, "run in-process compaction of a segmented dataset at this interval (0 disables; obey the single-mutator rule: no other writer/compactor process)")
+	slowQuery := flag.Duration("slow-query", 0, "log a per-operator trace for any request slower than this (0 disables)")
+	version := flag.Bool("version", false, "print build version and exit")
+	logOpts := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *version {
+		b := obs.Build()
+		fmt.Printf("vitaserve %s (%s) %s\n", b.Version, b.Commit, b.Go)
+		return nil
+	}
+	if _, err := logOpts.Setup(os.Stderr); err != nil {
+		return err
+	}
 
 	cfg := serve.Config{
 		Query:         query.Options{BucketWidth: *bucket, MaxGap: *maxGap},
@@ -112,34 +137,39 @@ func run() error {
 	if ds.Mmapped() {
 		access = "mmap"
 	}
-	fmt.Fprintf(os.Stderr, "vitaserve: serving %s (%s via %s, %d samples, %d blocks) on http://%s\n",
-		ds.Path(), ds.Format(), access, ds.Len(), ds.Blocks(), l.Addr())
+	b := obs.Build()
+	slog.Info("serving",
+		"path", ds.Path(), "format", string(ds.Format()), "access", access,
+		"samples", ds.Len(), "blocks", ds.Blocks(),
+		"addr", "http://"+l.Addr().String(),
+		"version", b.Version, "commit", b.Commit)
 	if n := ds.Segments(); n > 0 {
-		fmt.Fprintf(os.Stderr, "vitaserve: live dataset: %d segments at generation %d, refreshing every %s\n",
-			n, ds.Generation(), *watch)
+		slog.Info("live dataset",
+			"segments", n, "generation", ds.Generation(), "watch", watch.String())
 	}
 
 	compactCtx, stopCompact := context.WithCancel(context.Background())
 	defer stopCompact()
 	if *compactEvery > 0 {
-		log := ds.SegLog()
-		if log == nil {
+		// Keep the seglog handle under a name that doesn't shadow the stdlib
+		// log package for the rest of this scope.
+		slg := ds.SegLog()
+		if slg == nil {
 			return fmt.Errorf("-compact set but %s is not a segmented dataset", *dataDir)
 		}
-		c := seglog.NewCompactor(log, seglog.CompactorOptions{
+		// Run-loop errors are already logged by the compactor itself; OnError
+		// stays nil so they are not reported twice.
+		c := seglog.NewCompactor(slg, seglog.CompactorOptions{
 			DisableMmap: !*useMmap,
-			OnError: func(err error) {
-				fmt.Fprintln(os.Stderr, "vitaserve: compaction:", err)
-			},
 		})
 		go c.Run(compactCtx, *compactEvery)
-		fmt.Fprintf(os.Stderr, "vitaserve: compacting every %s\n", *compactEvery)
+		slog.Info("compacting", "every", compactEvery.String())
 	}
 
-	srv := serve.NewServer(ds)
+	srv := serve.NewServerWith(ds, serve.ServerOptions{SlowQuery: *slowQuery})
 	if *pprofOn {
 		srv.EnablePprof()
-		fmt.Fprintf(os.Stderr, "vitaserve: pprof enabled at http://%s/debug/pprof/\n", l.Addr())
+		slog.Info("pprof enabled", "addr", fmt.Sprintf("http://%s/debug/pprof/", l.Addr()))
 	}
 	if err := srv.RunUntilSignal(context.Background(), l, *drain, syscall.SIGINT, syscall.SIGTERM); err != nil {
 		return err
@@ -149,14 +179,19 @@ func run() error {
 		return err
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "vitaserve: drained and stopped after %.1fs: %d range, %d knn, %d density, %d traj, %d info; cache %d hits / %d misses / %d evictions, %d index hits\n",
-		st.UptimeSeconds, st.Requests["range"], st.Requests["knn"], st.Requests["density"],
-		st.Requests["traj"], st.Requests["info"],
-		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.IndexHits)
+	slog.Info("drained and stopped",
+		"uptime_s", st.UptimeSeconds,
+		"range", st.Requests["range"], "knn", st.Requests["knn"],
+		"density", st.Requests["density"], "traj", st.Requests["traj"],
+		"info", st.Requests["info"],
+		"cache_hits", st.Cache.Hits, "cache_misses", st.Cache.Misses,
+		"cache_evictions", st.Cache.Evictions, "index_hits", st.IndexHits)
 	if st.Segments > 0 {
-		fmt.Fprintf(os.Stderr, "vitaserve: live dataset: %d segments, generation %d, %d compactions, %d refreshes, %d block + %d index invalidations\n",
-			st.Segments, st.Generation, st.Compactions, st.Refreshes,
-			st.BlockInvalidations, st.IndexInvalidations)
+		slog.Info("live dataset totals",
+			"segments", st.Segments, "generation", st.Generation,
+			"compactions", st.Compactions, "refreshes", st.Refreshes,
+			"block_invalidations", st.BlockInvalidations,
+			"index_invalidations", st.IndexInvalidations)
 	}
 	return nil
 }

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Version and Commit identify the build; release builds stamp them with
+//
+//	go build -ldflags "-X vita/internal/obs.Version=v1.2.3 -X vita/internal/obs.Commit=abc1234"
+//
+// Unstamped builds report "dev" and whatever VCS revision the Go toolchain
+// embedded, if any.
+var (
+	Version = "dev"
+	Commit  = ""
+)
+
+var startTime = time.Now()
+
+// BuildInfo describes the running binary.
+type BuildInfo struct {
+	Version string `json:"version"`
+	Commit  string `json:"commit"`
+	Go      string `json:"go"`
+}
+
+// Build returns the binary's version, commit, and Go toolchain version,
+// falling back to the VCS revision embedded by the Go toolchain when Commit
+// was not stamped via ldflags.
+func Build() BuildInfo {
+	commit := Commit
+	if commit == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					commit = s.Value
+					if len(commit) > 12 {
+						commit = commit[:12]
+					}
+					break
+				}
+			}
+		}
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	return BuildInfo{Version: Version, Commit: commit, Go: runtime.Version()}
+}
+
+// Uptime returns how long the process has been running.
+func Uptime() time.Duration { return time.Since(startTime) }
+
+// RegisterBuildInfo exposes the vita_build_info gauge (constant 1 with
+// version/commit/go labels) on r — the standard Prometheus idiom for joining
+// build metadata onto other series.
+func RegisterBuildInfo(r *Registry) {
+	b := Build()
+	r.GaugeVec("vita_build_info", "Build metadata; value is always 1.",
+		"version", "commit", "go").With(b.Version, b.Commit, b.Go).Set(1)
+}

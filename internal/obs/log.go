@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogOptions is the shared logging configuration every CLI exposes through
+// the same flag pair, so operators configure vitaserve, vitagen, and
+// vitacompact identically.
+type LogOptions struct {
+	Format string // "text" or "json"
+	Level  string // "debug", "info", "warn", "error"
+}
+
+// RegisterLogFlags adds -log-format and -log-level to fs and returns the
+// options they populate.
+func RegisterLogFlags(fs *flag.FlagSet) *LogOptions {
+	o := &LogOptions{}
+	fs.StringVar(&o.Format, "log-format", "text", "log output format: text or json")
+	fs.StringVar(&o.Level, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	return o
+}
+
+// Setup builds a slog.Logger writing to w per the options, installs it as
+// the process default, and returns it. An unknown format or level is an
+// error (and leaves the default logger untouched).
+func (o *LogOptions) Setup(w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLevel(o.Level)
+	if err != nil {
+		return nil, err
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(o.Format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, hopts)
+	case "json":
+		h = slog.NewJSONHandler(w, hopts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", o.Format)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
+	return logger, nil
+}
+
+// ParseLevel maps a level name to its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}

@@ -1,0 +1,31 @@
+// Package obs is Vita's observability layer: a lock-cheap metrics registry
+// with Prometheus text exposition, shared structured-logging setup on
+// log/slog, span trees for per-operator query tracing, and build-info
+// stamping. It depends only on the standard library, so every other layer —
+// storage, seglog, plan, serve, the CLIs — can instrument itself without
+// import cycles or third-party baggage.
+//
+// The three concerns it bundles are the three signals a long-lived serving
+// process needs:
+//
+//   - Metrics (metrics.go): Counter, Gauge, and fixed-bucket Histogram
+//     series, optionally labeled (the *Vec variants) or computed on scrape
+//     (the *Func variants, which read existing atomic counters so
+//     instrumentation never double-counts). A Registry renders them all in
+//     Prometheus text format — vitaserve's GET /metricsz.
+//   - Logs (log.go): one flag pair (-log-format text|json, -log-level)
+//     shared by every CLI, configuring the process-wide slog default.
+//   - Traces (trace.go): Span trees recording per-operator rows, batches,
+//     wall time, and block-pruning stats — the payload behind ?trace=1 and
+//     the slow-query log — plus request-ID generation for log correlation.
+//
+// Most callers use the process-wide Default registry; tests that assert on
+// exact series pass a fresh NewRegistry instead.
+package obs
+
+// std is the process-wide default registry — what vitaserve exposes at
+// /metricsz and what package-level instrumentation (seglog) registers on.
+var std = NewRegistry()
+
+// Default returns the process-wide metrics registry.
+func Default() *Registry { return std }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vita/internal/colstore"
+	"vita/internal/obs"
 )
 
 // nodeKind discriminates logical plan nodes.
@@ -126,7 +127,16 @@ type Compiled struct {
 	// scanPreds holds the block predicate pushed into each Scan leaf, in
 	// left-to-right leaf order.
 	scanPreds []colstore.Predicate
+	// traced plans additionally carry a span tree mirroring the physical
+	// operator tree; see CompileTraced.
+	traced bool
+	span   *obs.Span
 }
+
+// Trace returns the plan's span tree, or nil when compiled without tracing.
+// Spans fill in as the plan executes; read them after Close for final
+// counts (scan pruning stats are captured at Close).
+func (c *Compiled) Trace() *obs.Span { return c.span }
 
 // ScanPred returns the block predicate the planner pushed into the first
 // (probe-side) scan leaf. Callers that cache by predicate (internal/serve)
@@ -157,19 +167,46 @@ func (c *Compiled) Close() error              { return c.root.Close() }
 // Pushdown is semantics-preserving by construction: Pred.match and
 // colstore.Predicate.MatchTrajectory agree on every structured kind, so the
 // same rows survive whether a conjunct runs in the scan or as a residual.
-func (p *Plan) Compile() (*Compiled, error) {
-	c := &Compiled{}
-	root, err := c.compile(p)
+func (p *Plan) Compile() (*Compiled, error) { return p.compileWith(false) }
+
+// CompileTraced compiles like Compile but wraps every physical operator in a
+// span recorder (see internal/obs.Span): per-operator batches, rows,
+// inclusive wall time, and — on scan leaves — block-pruning stats. The
+// untraced Compile path shares none of this machinery, so tracing is strictly
+// pay-for-what-you-use.
+func (p *Plan) CompileTraced() (*Compiled, error) { return p.compileWith(true) }
+
+func (p *Plan) compileWith(traced bool) (*Compiled, error) {
+	c := &Compiled{traced: traced}
+	root, span, err := c.compile(p)
 	if err != nil {
 		return nil, err
 	}
 	c.root = root
+	c.span = span
 	return c, nil
 }
 
 // compile lowers one logical chain to a physical operator, recording scan
-// predicates on c as it reaches the leaves.
-func (c *Compiled) compile(p *Plan) (Operator, error) {
+// predicates on c as it reaches the leaves. When tracing, it also returns
+// the chain's root span (nil otherwise).
+func (c *Compiled) compile(p *Plan) (Operator, *obs.Span, error) {
+	// span tracks the span of the chain's current top operator; trace wraps
+	// a freshly lowered operator and adopts the previous top (plus any extra
+	// subtrees, e.g. a join's build side) as children.
+	var span *obs.Span
+	trace := func(op Operator, name, detail string, isScan bool, extra ...*obs.Span) Operator {
+		if !c.traced {
+			return op
+		}
+		sp := &obs.Span{Op: name, Detail: detail}
+		if span != nil {
+			sp.Children = append(sp.Children, span)
+		}
+		sp.Children = append(sp.Children, extra...)
+		span = sp
+		return newTraceOp(op, sp, isScan)
+	}
 	// Flatten the linear chain leaf-first.
 	var chain []*Plan
 	for n := p; n != nil; n = n.input {
@@ -179,7 +216,7 @@ func (c *Compiled) compile(p *Plan) (Operator, error) {
 		chain[i], chain[j] = chain[j], chain[i]
 	}
 	if chain[0].kind != nodeScan {
-		return nil, fmt.Errorf("plan: chain must start at a Scan, got %s", chain[0].kind)
+		return nil, nil, fmt.Errorf("plan: chain must start at a Scan, got %s", chain[0].kind)
 	}
 
 	// Merge the filter chain sitting directly on the scan and push every
@@ -195,16 +232,16 @@ func (c *Compiled) compile(p *Plan) (Operator, error) {
 		}
 	}
 	c.scanPreds = append(c.scanPreds, pred)
-	var op Operator = newScanOp(chain[0].src, pred)
+	op := trace(newScanOp(chain[0].src, pred), "Scan", predDetail(pred), true)
 
 	// Fuse the residual with a directly-following Project, if any.
 	if len(residual) > 0 {
+		var proj []Col
 		if i < len(chain) && chain[i].kind == nodeProject {
-			op = newFilterProjectOp(op, residual, chain[i].cols)
+			proj = chain[i].cols
 			i++
-		} else {
-			op = newFilterProjectOp(op, residual, nil)
 		}
+		op = trace(newFilterProjectOp(op, residual, proj), fpName(residual, proj), fpDetail(residual, proj), false)
 	}
 
 	// Lower the rest of the chain 1:1, still fusing filter+project pairs.
@@ -212,49 +249,49 @@ func (c *Compiled) compile(p *Plan) (Operator, error) {
 		n := chain[i]
 		switch n.kind {
 		case nodeFilter:
+			var proj []Col
 			if i+1 < len(chain) && chain[i+1].kind == nodeProject {
-				op = newFilterProjectOp(op, n.preds, chain[i+1].cols)
+				proj = chain[i+1].cols
 				i++
-			} else {
-				op = newFilterProjectOp(op, n.preds, nil)
 			}
+			op = trace(newFilterProjectOp(op, n.preds, proj), fpName(n.preds, proj), fpDetail(n.preds, proj), false)
 		case nodeProject:
-			op = newFilterProjectOp(op, nil, n.cols)
+			op = trace(newFilterProjectOp(op, nil, n.cols), "Project", fpDetail(nil, n.cols), false)
 		case nodeTimeBucket:
 			if n.width <= 0 {
-				return nil, fmt.Errorf("plan: TimeBucket width must be positive, got %g", n.width)
+				return nil, nil, fmt.Errorf("plan: TimeBucket width must be positive, got %g", n.width)
 			}
-			op = newTimeBucketOp(op, n.width)
+			op = trace(newTimeBucketOp(op, n.width), "TimeBucket", fmt.Sprintf("width=%gs", n.width), false)
 		case nodeDerive:
-			op = newDeriveOp(op, n.derive)
+			op = trace(newDeriveOp(op, n.derive), "Derive", "", false)
 		case nodeAggregate:
 			ag, err := newHashAggOp(op, n.cols, n.aggs)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			op = ag
+			op = trace(ag, "Aggregate", fmt.Sprintf("%d agg(s) by %s", len(n.aggs), colList(n.cols)), false)
 		case nodeOrderBy:
 			if len(n.keys) == 0 {
-				return nil, fmt.Errorf("plan: OrderBy needs at least one key")
+				return nil, nil, fmt.Errorf("plan: OrderBy needs at least one key")
 			}
-			op = newOrderByOp(op, n.keys)
+			op = trace(newOrderByOp(op, n.keys), "OrderBy", sortKeyList(n.keys), false)
 		case nodeLimit:
 			if n.n < 0 {
-				return nil, fmt.Errorf("plan: Limit must be non-negative, got %d", n.n)
+				return nil, nil, fmt.Errorf("plan: Limit must be non-negative, got %d", n.n)
 			}
-			op = newLimitOp(op, n.n)
+			op = trace(newLimitOp(op, n.n), "Limit", fmt.Sprintf("n=%d", n.n), false)
 		case nodeJoin:
 			if len(n.cols) == 0 {
-				return nil, fmt.Errorf("plan: Join needs at least one key column")
+				return nil, nil, fmt.Errorf("plan: Join needs at least one key column")
 			}
-			rightOp, err := c.compile(n.right)
+			rightOp, rightSpan, err := c.compile(n.right)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			op = newJoinOp(op, rightOp, n.cols)
+			op = trace(newJoinOp(op, rightOp, n.cols), "Join", "on "+colList(n.cols), false, rightSpan)
 		default:
-			return nil, fmt.Errorf("plan: unexpected %s mid-chain", n.kind)
+			return nil, nil, fmt.Errorf("plan: unexpected %s mid-chain", n.kind)
 		}
 	}
-	return op, nil
+	return op, span, nil
 }

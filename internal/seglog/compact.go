@@ -3,6 +3,7 @@ package seglog
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -60,16 +61,28 @@ func NewCompactor(l *Log, opts CompactorOptions) *Compactor {
 // RunOnce merges the current live segments into one if at least MinSegments
 // are live, returning the merged segment's meta (nil when below threshold).
 func (c *Compactor) RunOnce() (*SegmentMeta, error) {
+	meta, err := c.runOnce()
+	if err != nil {
+		metricCompactionErrs.Inc()
+		slog.Warn("compaction failed", "dir", c.log.dir, "error", err.Error())
+	}
+	return meta, err
+}
+
+func (c *Compactor) runOnce() (*SegmentMeta, error) {
 	man := c.log.Snapshot()
 	if len(man.Segments) < c.opts.MinSegments {
 		return nil, nil
 	}
+	start := time.Now()
 	inputs := man.Segments
 	paths := make([]string, len(inputs))
 	level := 0
+	var inBytes int64
 	for i, m := range inputs {
 		paths[i] = c.log.SegmentPath(m)
 		level = max(level, m.Level)
+		inBytes += m.Bytes
 	}
 
 	id := c.log.reserveID()
@@ -99,6 +112,15 @@ func (c *Compactor) RunOnce() (*SegmentMeta, error) {
 		os.Remove(filepath.Join(c.log.dir, segName(id)))
 		return nil, err
 	}
+	kind := c.log.kind.String()
+	elapsed := time.Since(start)
+	metricCompactionRuns.With(kind).Inc()
+	metricCompactionDur.With(kind).Observe(elapsed.Seconds())
+	metricCompactionBytes.With(kind).Add(inBytes)
+	slog.Info("compaction",
+		"kind", kind, "inputs", len(inputs), "segment", meta.ID, "level", meta.Level,
+		"rows", meta.Rows, "bytes", meta.Bytes, "bytes_merged", inBytes,
+		"duration_ms", elapsed.Milliseconds())
 	return &meta, nil
 }
 

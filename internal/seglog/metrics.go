@@ -1,0 +1,22 @@
+package seglog
+
+import "vita/internal/obs"
+
+// The mutating paths report to the process-default registry: under the
+// single-mutator rule the writer, compactor, and server share one process, so
+// one registry sees the whole mutation story and vitaserve's /metricsz
+// exposes it. Series are labelled by record kind where a log's kind matters.
+var (
+	metricSealed = obs.Default().CounterVec("vita_seglog_segments_sealed_total",
+		"Segments sealed and committed to the manifest by writers.", "kind")
+	metricCompactionRuns = obs.Default().CounterVec("vita_seglog_compaction_runs_total",
+		"Completed compaction merges.", "kind")
+	metricCompactionDur = obs.Default().HistogramVec("vita_seglog_compaction_duration_seconds",
+		"Wall time of completed compaction merges.", nil, "kind")
+	metricCompactionBytes = obs.Default().CounterVec("vita_seglog_compaction_bytes_merged_total",
+		"Input bytes consumed by completed compaction merges.", "kind")
+	metricCompactionErrs = obs.Default().Counter("vita_seglog_compaction_errors_total",
+		"Compaction attempts that failed.")
+	metricOrphansSwept = obs.Default().Counter("vita_seglog_orphans_swept_total",
+		"Orphan segment files removed by crash-recovery sweeps.")
+)

@@ -22,6 +22,7 @@ package seglog
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -262,6 +263,10 @@ func (l *Log) SweepOrphans() (int, error) {
 			return removed, err
 		}
 		removed++
+	}
+	if removed > 0 {
+		metricOrphansSwept.Add(int64(removed))
+		slog.Info("orphan sweep", "dir", l.dir, "removed", removed)
 	}
 	return removed, nil
 }

@@ -3,6 +3,7 @@ package seglog
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 
@@ -216,9 +217,16 @@ func (w *Writer[T]) seal() error {
 	w.rows = 0
 	if err := w.log.appendSegment(meta); err != nil {
 		// The file is in place but unreferenced; the next mutator sweeps it.
+		slog.Warn("segment commit failed",
+			"kind", w.log.kind.String(), "segment", meta.ID, "file", meta.File,
+			"error", err.Error())
 		return err
 	}
 	w.sealed++
+	metricSealed.With(w.log.kind.String()).Inc()
+	slog.Info("segment sealed",
+		"kind", w.log.kind.String(), "segment", meta.ID, "file", meta.File,
+		"rows", meta.Rows, "bytes", meta.Bytes)
 	return nil
 }
 

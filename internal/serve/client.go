@@ -21,6 +21,14 @@ type Client struct {
 	HTTP *http.Client
 }
 
+// setTrace adds the ?trace=1 ask to the query when the request wants a
+// span tree back.
+func setTrace(v url.Values, trace bool) {
+	if trace {
+		v.Set("trace", "1")
+	}
+}
+
 // Range executes a range query on the server.
 func (c *Client) Range(q RangeRequest) (*RangeResponse, error) {
 	v := url.Values{}
@@ -28,6 +36,7 @@ func (c *Client) Range(q RangeRequest) (*RangeResponse, error) {
 	v.Set("box", FormatBox(q.Box))
 	v.Set("t0", formatFloats(q.T0))
 	v.Set("t1", formatFloats(q.T1))
+	setTrace(v, q.Trace)
 	var resp RangeResponse
 	if err := c.get("/v1/range", v, &resp); err != nil {
 		return nil, err
@@ -42,6 +51,7 @@ func (c *Client) KNN(q KNNRequest) (*KNNResponse, error) {
 	v.Set("at", FormatPoint(q.At))
 	v.Set("t", formatFloats(q.T))
 	v.Set("k", strconv.Itoa(q.K))
+	setTrace(v, q.Trace)
 	var resp KNNResponse
 	if err := c.get("/v1/knn", v, &resp); err != nil {
 		return nil, err
@@ -53,6 +63,7 @@ func (c *Client) KNN(q KNNRequest) (*KNNResponse, error) {
 func (c *Client) Density(q DensityRequest) (*DensityResponse, error) {
 	v := url.Values{}
 	v.Set("t", formatFloats(q.T))
+	setTrace(v, q.Trace)
 	var resp DensityResponse
 	if err := c.get("/v1/density", v, &resp); err != nil {
 		return nil, err
@@ -66,6 +77,7 @@ func (c *Client) Traj(q TrajRequest) (*TrajResponse, error) {
 	v.Set("obj", strconv.Itoa(q.Obj))
 	v.Set("t0", formatFloats(q.T0))
 	v.Set("t1", formatFloats(q.T1))
+	setTrace(v, q.Trace)
 	var resp TrajResponse
 	if err := c.get("/v1/traj", v, &resp); err != nil {
 		return nil, err
@@ -79,6 +91,7 @@ func (c *Client) Dwell(q DwellRequest) (*DwellResponse, error) {
 	v.Set("floor", strconv.Itoa(q.Floor))
 	v.Set("t0", formatFloats(q.T0))
 	v.Set("t1", formatFloats(q.T1))
+	setTrace(v, q.Trace)
 	var resp DwellResponse
 	if err := c.get("/v1/dwell", v, &resp); err != nil {
 		return nil, err
@@ -87,9 +100,11 @@ func (c *Client) Dwell(q DwellRequest) (*DwellResponse, error) {
 }
 
 // Info fetches the dataset summary from the server.
-func (c *Client) Info() (*InfoResponse, error) {
+func (c *Client) Info(trace bool) (*InfoResponse, error) {
+	v := url.Values{}
+	setTrace(v, trace)
 	var resp InfoResponse
-	if err := c.get("/v1/info", nil, &resp); err != nil {
+	if err := c.get("/v1/info", v, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -106,8 +121,17 @@ func (c *Client) Stats() (*ServerStats, error) {
 
 // Healthy reports whether the server answers /healthz.
 func (c *Client) Healthy() bool {
-	var resp map[string]string
-	return c.get("/healthz", nil, &resp) == nil
+	var resp Health
+	return c.get("/healthz", nil, &resp) == nil && resp.Status == "ok"
+}
+
+// Health fetches the server's liveness and build identity (/healthz).
+func (c *Client) Health() (*Health, error) {
+	var resp Health
+	if err := c.get("/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 func (c *Client) get(path string, v url.Values, out any) error {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"vita/internal/colstore"
+	"vita/internal/obs"
 	"vita/internal/plan"
 	"vita/internal/query"
 	"vita/internal/seglog"
@@ -532,19 +533,67 @@ func predKey(p colstore.Predicate, o query.Options) string {
 		p.HasObj, p.Obj, o.BucketWidth, o.MaxGap)
 }
 
+// opTrace assembles an operator's root span: total wall time, the
+// index-build (or plan) subtree, and the index-probe phase. When off, every
+// method is a no-op and finish returns nil, so untraced requests carry no
+// trace machinery at all.
+type opTrace struct {
+	on         bool
+	op         string
+	start      time.Time
+	probeStart time.Time
+}
+
+func newOpTrace(on bool, op string) opTrace {
+	t := opTrace{on: on, op: op}
+	if on {
+		t.start = time.Now()
+	}
+	return t
+}
+
+// startProbe marks the beginning of the index-probe phase (after the index
+// is built or fetched).
+func (t *opTrace) startProbe() {
+	if t.on {
+		t.probeStart = time.Now()
+	}
+}
+
+// finish builds the root span over the child subtree (index build or plan
+// trace); rows is the operator's result cardinality.
+func (t *opTrace) finish(child *obs.Span, rows int) *obs.Span {
+	if !t.on {
+		return nil
+	}
+	root := &obs.Span{Op: t.op, Rows: rows}
+	if child != nil {
+		root.Children = append(root.Children, child)
+	}
+	if !t.probeStart.IsZero() {
+		probe := &obs.Span{Op: "IndexProbe", Rows: rows}
+		probe.AddWall(time.Since(t.probeStart))
+		root.Children = append(root.Children, probe)
+	}
+	root.AddWall(time.Since(t.start))
+	return root
+}
+
 // Range answers a range query: the samples inside the box/floor/window and
 // the distinct objects among them. The plan's time/box/floor filters all
 // push down into the scan predicate, so the pre-index load prunes blocks
 // exactly as the hand-built predicate did.
 func (d *Dataset) Range(q RangeRequest) (*RangeResponse, error) {
+	t := newOpTrace(q.Trace, "Range")
 	preds := []plan.Pred{plan.TimeBetween(q.T0, q.T1), plan.InBox(q.Box)}
 	if q.Floor >= 0 {
 		preds = append(preds, plan.OnFloor(q.Floor))
 	}
-	ix, stats, err := d.indexFor(preds...)
+	ix, stats, buildSpan, err := d.indexFor(q.Trace, preds...)
 	if err != nil {
 		return nil, err
 	}
+	t.startProbe()
 	hits := ix.Range(q.Floor, q.Box, q.T0, q.T1)
 	seen := make(map[int]bool)
 	for _, s := range hits {
@@ -555,38 +604,55 @@ func (d *Dataset) Range(q RangeRequest) (*RangeResponse, error) {
 		objs = append(objs, id)
 	}
 	sort.Ints(objs)
-	return &RangeResponse{Query: q, Hits: hits, Objects: objs, Stats: stats}, nil
+	resp := &RangeResponse{Query: q, Hits: hits, Objects: objs, Stats: stats}
+	resp.Trace = t.finish(buildSpan, len(hits))
+	return resp, nil
 }
 
 // KNN answers a k-nearest-neighbors query at an instant. Like the CLI, it
 // loads only the samples within MaxGap of T so interpolation still sees its
 // bracketing samples, and leaves floor filtering to the operator.
 func (d *Dataset) KNN(q KNNRequest) (*KNNResponse, error) {
+	t := newOpTrace(q.Trace, "KNN")
 	opts := d.queryOptions()
-	ix, stats, err := d.indexFor(plan.TimeBetween(q.T-opts.MaxGap, q.T+opts.MaxGap))
+	ix, stats, buildSpan, err := d.indexFor(q.Trace, plan.TimeBetween(q.T-opts.MaxGap, q.T+opts.MaxGap))
 	if err != nil {
 		return nil, err
 	}
-	return &KNNResponse{Query: q, Neighbors: ix.KNN(q.Floor, q.At, q.T, q.K), Stats: stats}, nil
+	t.startProbe()
+	neighbors := ix.KNN(q.Floor, q.At, q.T, q.K)
+	resp := &KNNResponse{Query: q, Neighbors: neighbors, Stats: stats}
+	resp.Trace = t.finish(buildSpan, len(neighbors))
+	return resp, nil
 }
 
 // Density answers a per-partition snapshot density query at an instant.
 func (d *Dataset) Density(q DensityRequest) (*DensityResponse, error) {
+	t := newOpTrace(q.Trace, "Density")
 	opts := d.queryOptions()
-	ix, stats, err := d.indexFor(plan.TimeBetween(q.T-opts.MaxGap, q.T+opts.MaxGap))
+	ix, stats, buildSpan, err := d.indexFor(q.Trace, plan.TimeBetween(q.T-opts.MaxGap, q.T+opts.MaxGap))
 	if err != nil {
 		return nil, err
 	}
-	return &DensityResponse{Query: q, Counts: ix.Density(q.T), Stats: stats}, nil
+	t.startProbe()
+	counts := ix.Density(q.T)
+	resp := &DensityResponse{Query: q, Counts: counts, Stats: stats}
+	resp.Trace = t.finish(buildSpan, len(counts))
+	return resp, nil
 }
 
 // Traj answers a trajectory-retrieval query for one object.
 func (d *Dataset) Traj(q TrajRequest) (*TrajResponse, error) {
-	ix, stats, err := d.indexFor(plan.ObjEq(q.Obj), plan.TimeBetween(q.T0, q.T1))
+	t := newOpTrace(q.Trace, "Traj")
+	ix, stats, buildSpan, err := d.indexFor(q.Trace, plan.ObjEq(q.Obj), plan.TimeBetween(q.T0, q.T1))
 	if err != nil {
 		return nil, err
 	}
-	return &TrajResponse{Query: q, Samples: ix.ObjectTrajectory(q.Obj, q.T0, q.T1), Stats: stats}, nil
+	t.startProbe()
+	samples := ix.ObjectTrajectory(q.Obj, q.T0, q.T1)
+	resp := &TrajResponse{Query: q, Samples: samples, Stats: stats}
+	resp.Trace = t.finish(buildSpan, len(samples))
+	return resp, nil
 }
 
 // Dwell answers dwell-time-per-room: for every partition, the total seconds
@@ -603,7 +669,8 @@ func (d *Dataset) Dwell(q DwellRequest) (*DwellResponse, error) {
 	if q.Floor >= 0 {
 		preds = append(preds, plan.OnFloor(q.Floor))
 	}
-	rows, stats, err := d.runPlan(func(src plan.Source) *plan.Plan {
+	t := newOpTrace(q.Trace, "Dwell")
+	rows, stats, planSpan, err := d.runPlan(q.Trace, func(src plan.Source) *plan.Plan {
 		return plan.NewScan(src).
 			Filter(preds...).
 			OrderBy(plan.Asc(plan.ColObjID), plan.Asc(plan.ColT)).
@@ -629,12 +696,16 @@ func (d *Dataset) Dwell(q DwellRequest) (*DwellResponse, error) {
 		}
 		return rooms[i].Partition < rooms[j].Partition
 	})
-	return &DwellResponse{Query: q, Rooms: rooms, Stats: stats}, nil
+	resp := &DwellResponse{Query: q, Rooms: rooms, Stats: stats}
+	resp.Trace = t.finish(planSpan, len(rooms))
+	return resp, nil
 }
 
-// Info summarizes the dataset.
-func (d *Dataset) Info() (*InfoResponse, error) {
-	ix, stats, err := d.indexFor()
+// Info summarizes the dataset. With trace set the response carries the
+// span tree of the full-dataset index build behind the summary.
+func (d *Dataset) Info(trace bool) (*InfoResponse, error) {
+	t := newOpTrace(trace, "Info")
+	ix, stats, buildSpan, err := d.indexFor(trace)
 	if err != nil {
 		return nil, err
 	}
@@ -648,6 +719,7 @@ func (d *Dataset) Info() (*InfoResponse, error) {
 		Empty:   !ok,
 		Stats:   stats,
 	}
+	resp.Trace = t.finish(buildSpan, ix.Len())
 	return resp, nil
 }
 

@@ -1,0 +1,437 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vita/internal/geom"
+	"vita/internal/obs"
+	"vita/internal/storage"
+)
+
+// quietLogger drops all request logs, keeping concurrent tests readable.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// scrapeMetrics fetches /metricsz and parses every sample line into
+// "name{labels}" → value.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	res, err := http.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz: HTTP %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metricsz content type %q", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(res.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("metricsz: unparseable line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("metricsz: bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMetricsUnderConcurrentQueriesAndRefresh is the observability
+// acceptance gate: a segmented dataset serves a battery of concurrent
+// queries (some traced, some failing) while the manifest refreshes
+// mid-flight, and afterwards /metricsz and /statsz must agree exactly —
+// histogram counts equal request counts, status labels partition them, and
+// every counter is monotonic between scrapes.
+func TestMetricsUnderConcurrentQueriesAndRefresh(t *testing.T) {
+	samples := testSamples()
+	half := len(samples) / 2
+	dir := t.TempDir()
+	l := writeSegmented(t, dir, samples[:half], half/3+1)
+
+	ds, err := Open(dir, Config{WatchInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+
+	reg := obs.NewRegistry()
+	srv := NewServerWith(ds, ServerOptions{Metrics: reg, Logger: quietLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{Base: ts.URL}
+
+	const workers, iters = 8, 5
+	box := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(40, 20)}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := RangeRequest{Floor: -1, Box: box, T0: float64(i * 10), T1: float64(i*10 + 50)}
+				q.Trace = w%2 == 0 // half the workers ask for traces
+				if _, err := c.Range(q); err != nil {
+					errs <- err
+				}
+				if _, err := c.KNN(KNNRequest{Floor: 0, At: geom.Pt(10, 7.5), T: 100, K: 3}); err != nil {
+					errs <- err
+				}
+				if _, err := c.Traj(TrajRequest{Obj: w, T0: 0, T1: 600}); err != nil {
+					errs <- err
+				}
+				// One malformed request per iteration: must count as a 400,
+				// not a request the operator counters see.
+				res, err := http.Get(ts.URL + "/v1/range?box=bogus")
+				if err != nil {
+					errs <- err
+					continue
+				}
+				io.Copy(io.Discard, res.Body)
+				res.Body.Close()
+				if res.StatusCode != http.StatusBadRequest {
+					t.Errorf("bad request got HTTP %d", res.StatusCode)
+				}
+			}
+		}(w)
+	}
+
+	// Mid-flight: roll in the second half of the data in two batches with a
+	// refresh after each, so in-flight queries span two generation changes.
+	mid := scrapeMetrics(t, ts.URL)
+	cut := (half + len(samples)) / 2
+	for _, batch := range [][2]int{{half, cut}, {cut, len(samples)}} {
+		chunk := samples[batch[0]:batch[1]]
+		appendSegmented(t, l, chunk, len(chunk)+1)
+		if changed, err := ds.Refresh(); err != nil {
+			t.Fatal(err)
+		} else if !changed {
+			t.Fatal("refresh saw no new generation after an append")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	final := scrapeMetrics(t, ts.URL)
+
+	// Counters never move backwards, under any interleaving.
+	for series, v1 := range mid {
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+		}
+		monotonic := strings.HasSuffix(name, "_total") ||
+			strings.HasSuffix(name, "_count") || strings.HasSuffix(name, "_sum")
+		if !monotonic {
+			continue
+		}
+		if v2, ok := final[series]; ok && v2 < v1 {
+			t.Errorf("%s went backwards: %g -> %g", series, v1, v2)
+		}
+	}
+
+	// Exact accounting: every worker iteration issued one good and one bad
+	// range, one knn, one traj.
+	n := float64(workers * iters)
+	checks := map[string]float64{
+		`vita_http_requests_total{endpoint="/v1/range",status="200"}`:    n,
+		`vita_http_requests_total{endpoint="/v1/range",status="400"}`:    n,
+		`vita_http_requests_total{endpoint="/v1/knn",status="200"}`:      n,
+		`vita_http_requests_total{endpoint="/v1/traj",status="200"}`:     n,
+		`vita_http_request_duration_seconds_count{endpoint="/v1/range"}`: 2 * n,
+		`vita_http_request_duration_seconds_count{endpoint="/v1/knn"}`:   n,
+		`vita_http_request_duration_seconds_count{endpoint="/v1/traj"}`:  n,
+		`vita_http_errors_total`:        n,
+		`vita_manifest_refreshes_total`: 2,
+		`vita_dataset_generation`:       float64(ds.Generation()),
+	}
+	for series, want := range checks {
+		if got := final[series]; got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+	for _, series := range []string{
+		`vita_blocks_pruned_total`,
+		`vita_blocks_decoded_total`,
+		`vita_block_cache_hits_total`,
+		`vita_dataset_segments`,
+	} {
+		if final[series] == 0 {
+			t.Errorf("%s is zero after the query battery", series)
+		}
+	}
+	b := obs.Build()
+	if _, ok := final[`vita_build_info{version="`+b.Version+`",commit="`+b.Commit+`",go="`+b.Go+`"}`]; !ok {
+		t.Error("vita_build_info series missing")
+	}
+
+	// /statsz must agree with the scrape: operator counters only see the
+	// requests that parsed.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests["range"] != int64(n) || st.Requests["knn"] != int64(n) || st.Requests["traj"] != int64(n) {
+		t.Errorf("statsz request counts %v, want %g per operator", st.Requests, n)
+	}
+	if st.Errors != int64(n) {
+		t.Errorf("statsz errors = %d, want %g", st.Errors, n)
+	}
+	if st.Refreshes != 2 {
+		t.Errorf("statsz refreshes = %d, want 2", st.Refreshes)
+	}
+	if float64(st.BlocksPruned) != final[`vita_blocks_pruned_total`] {
+		t.Errorf("statsz pruned %d != metricsz %g", st.BlocksPruned, final[`vita_blocks_pruned_total`])
+	}
+}
+
+// findServeSpan walks a span tree for the first span with the given op.
+func findServeSpan(s *obs.Span, op string) *obs.Span {
+	if s == nil {
+		return nil
+	}
+	if s.Op == op {
+		return s
+	}
+	for _, c := range s.Children {
+		if got := findServeSpan(c, op); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// TestTraceMatchesResponseStats pins the trace contract on every surface:
+// the span tree's row and pruning counts must equal the response's Stats,
+// locally and over HTTP — and be absent entirely when not asked for.
+func TestTraceMatchesResponseStats(t *testing.T) {
+	// No index cache, so every traced query shows the full IndexBuild→Scan
+	// chain rather than an IndexCached hit.
+	ds := openTestDataset(t, storage.FormatVTB, Config{IndexEntries: -1})
+	ts := httptest.NewServer(NewServerWith(ds, ServerOptions{Logger: quietLogger(), Metrics: obs.NewRegistry()}).Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{Base: ts.URL}
+
+	box := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(40, 20)}
+	q := RangeRequest{Floor: -1, Box: box, T0: 50, T1: 150, Trace: true}
+
+	local, err := ds.Range(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.Range(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for surface, resp := range map[string]*RangeResponse{"local": local, "remote": remote} {
+		root := resp.Trace
+		if root == nil {
+			t.Fatalf("%s: traced request returned no trace", surface)
+		}
+		if root.Op != "Range" {
+			t.Errorf("%s: root span %q, want Range", surface, root.Op)
+		}
+		if root.Rows != len(resp.Hits) {
+			t.Errorf("%s: root rows %d != %d hits", surface, root.Rows, len(resp.Hits))
+		}
+		scan := findServeSpan(root, "Scan")
+		if scan == nil {
+			t.Fatalf("%s: no Scan span in trace", surface)
+		}
+		if scan.BlocksScanned != resp.Stats.Scan.BlocksScanned ||
+			scan.BlocksPruned != resp.Stats.Scan.BlocksPruned ||
+			scan.RowsMatched != resp.Stats.Scan.RowsMatched {
+			t.Errorf("%s: scan span (%d scanned, %d pruned, %d matched) != stats (%d, %d, %d)",
+				surface, scan.BlocksScanned, scan.BlocksPruned, scan.RowsMatched,
+				resp.Stats.Scan.BlocksScanned, resp.Stats.Scan.BlocksPruned, resp.Stats.Scan.RowsMatched)
+		}
+		if probe := findServeSpan(root, "IndexProbe"); probe == nil {
+			t.Errorf("%s: no IndexProbe span", surface)
+		}
+	}
+
+	// Dwell runs as pure plan algebra: its trace is the operator tree.
+	dw, err := c.Dwell(DwellRequest{Floor: -1, T0: 50, T1: 450, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw.Trace == nil || dw.Trace.Op != "Dwell" {
+		t.Fatalf("dwell trace root: %+v", dw.Trace)
+	}
+	if dw.Trace.Rows != len(dw.Rooms) {
+		t.Errorf("dwell root rows %d != %d rooms", dw.Trace.Rows, len(dw.Rooms))
+	}
+	if dw.Trace.SpanCount() < 3 {
+		t.Errorf("dwell trace has %d spans; want the full operator chain", dw.Trace.SpanCount())
+	}
+
+	// Untraced requests must carry no trace — on the wire or locally.
+	plain, err := c.Range(RangeRequest{Floor: -1, Box: box, T0: 50, T1: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced remote request returned a trace")
+	}
+	lp, err := ds.Range(RangeRequest{Floor: -1, Box: box, T0: 51, T1: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Trace != nil {
+		t.Error("untraced local request returned a trace")
+	}
+}
+
+// syncBuf is a concurrency-safe log sink.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestSlowQueryLog forces the threshold to one nanosecond: every operator
+// request must emit a slow-query log line with its trace — while the
+// response stays trace-free unless the client opted in with ?trace=1.
+func TestSlowQueryLog(t *testing.T) {
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	var buf syncBuf
+	srv := NewServerWith(ds, ServerOptions{
+		SlowQuery: time.Nanosecond,
+		Logger:    slog.New(slog.NewJSONHandler(&buf, nil)),
+		Metrics:   obs.NewRegistry(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{Base: ts.URL}
+
+	box := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(40, 20)}
+	resp, err := c.Range(RangeRequest{Floor: -1, Box: box, T0: 0, T1: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace != nil {
+		t.Error("slow-query tracing leaked into an untraced response")
+	}
+	log := buf.String()
+	if !strings.Contains(log, `"msg":"slow query"`) {
+		t.Fatalf("no slow-query log line:\n%s", log)
+	}
+	if !strings.Contains(log, `\"op\":\"Range\"`) {
+		t.Errorf("slow-query log carries no trace:\n%s", log)
+	}
+
+	traced, err := c.Range(RangeRequest{Floor: -1, Box: box, T0: 0, T1: 100, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Trace == nil {
+		t.Error("?trace=1 returned no trace under the slow-query regime")
+	}
+}
+
+// TestRequestIDAndErrorBody checks the join key between client reports and
+// server logs: a caller-supplied X-Request-Id is echoed in the response
+// header and the structured error body.
+func TestRequestIDAndErrorBody(t *testing.T) {
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	ts := httptest.NewServer(NewServerWith(ds, ServerOptions{Logger: quietLogger(), Metrics: obs.NewRegistry()}).Handler())
+	t.Cleanup(ts.Close)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/range?box=bogus", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "caller-supplied-42")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400", res.StatusCode)
+	}
+	if got := res.Header.Get("X-Request-Id"); got != "caller-supplied-42" {
+		t.Errorf("echoed request ID %q", got)
+	}
+	body, _ := io.ReadAll(res.Body)
+	if !strings.Contains(string(body), `"request_id":"caller-supplied-42"`) {
+		t.Errorf("error body lacks the request ID: %s", body)
+	}
+	if !strings.Contains(string(body), `"error":`) {
+		t.Errorf("error body lacks a message: %s", body)
+	}
+
+	// Without a caller ID the server mints one: 16 hex chars.
+	res2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res2.Body)
+	res2.Body.Close()
+	if id := res2.Header.Get("X-Request-Id"); len(id) != 16 {
+		t.Errorf("generated request ID %q, want 16 hex chars", id)
+	}
+}
+
+// TestHealthzBuildInfo checks /healthz now answers "what exactly is
+// running", through the typed client.
+func TestHealthzBuildInfo(t *testing.T) {
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	ts := httptest.NewServer(NewServerWith(ds, ServerOptions{Logger: quietLogger(), Metrics: obs.NewRegistry()}).Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{Base: ts.URL}
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status %q", h.Status)
+	}
+	if h.Version == "" || h.Go == "" {
+		t.Errorf("build identity incomplete: %+v", h)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("negative uptime %g", h.UptimeSeconds)
+	}
+}

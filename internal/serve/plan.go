@@ -2,8 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"vita/internal/colstore"
+	"vita/internal/obs"
 	"vita/internal/plan"
 	"vita/internal/query"
 	"vita/internal/storage"
@@ -158,19 +160,29 @@ func (c *memCursor) Close() error {
 // so the cache-less configuration never materializes the matched rows —
 // peak memory beyond the finished index is one decoded batch per segment,
 // which is what Stats.PeakDecodedBytes approximates.
-func (d *Dataset) indexFor(preds ...plan.Pred) (*query.TrajectoryIndex, Stats, error) {
+// With traced set, the returned span is "IndexCached" on a cache hit or an
+// "IndexBuild" wrapping the plan's per-operator trace on a miss; untraced
+// calls compile the plain (span-free) plan and return a nil span.
+func (d *Dataset) indexFor(traced bool, preds ...plan.Pred) (*query.TrajectoryIndex, Stats, *obs.Span, error) {
 	var set *segmentSet
 	if d.format != storage.FormatCSV {
 		set = d.acquireSet()
 		if set == nil {
-			return nil, Stats{Format: string(d.format)}, errClosed
+			return nil, Stats{Format: string(d.format)}, nil, errClosed
 		}
 		defer set.release()
 	}
 	src := &planSource{d: d, set: set}
-	c, err := plan.NewScan(src).Filter(preds...).Compile()
+	p := plan.NewScan(src).Filter(preds...)
+	var c *plan.Compiled
+	var err error
+	if traced {
+		c, err = p.CompileTraced()
+	} else {
+		c, err = p.Compile()
+	}
 	if err != nil {
-		return nil, Stats{Format: string(d.format)}, err
+		return nil, Stats{Format: string(d.format)}, nil, err
 	}
 
 	key := predKey(c.ScanPred(), d.qopts)
@@ -184,10 +196,20 @@ func (d *Dataset) indexFor(preds ...plan.Pred) (*query.TrajectoryIndex, Stats, e
 			if d.log != nil {
 				st.Segments = len(set.segs)
 			}
-			return ix, st, nil
+			var span *obs.Span
+			if traced {
+				span = &obs.Span{Op: "IndexCached", Rows: ix.Len()}
+			}
+			return ix, st, span, nil
 		}
 	}
 
+	var span *obs.Span
+	var start time.Time
+	if traced {
+		span = &obs.Span{Op: "IndexBuild", Children: []*obs.Span{c.Trace()}}
+		start = time.Now()
+	}
 	b := query.NewIndexBuilder(d.qopts)
 	var sampleBytes int64 // approximate bytes of the matched rows
 	for c.Next() {
@@ -199,9 +221,13 @@ func (d *Dataset) indexFor(preds ...plan.Pred) (*query.TrajectoryIndex, Stats, e
 	// other load path.
 	stats := src.finalStats()
 	if err := c.Close(); err != nil {
-		return nil, stats, err
+		return nil, stats, span, err
 	}
 	ix := b.Build()
+	if traced {
+		span.AddWall(time.Since(start))
+		span.Rows = ix.Len()
+	}
 	if d.idx != nil {
 		if src.samples != nil {
 			sampleBytes = samplesBytes(src.samples)
@@ -211,31 +237,40 @@ func (d *Dataset) indexFor(preds ...plan.Pred) (*query.TrajectoryIndex, Stats, e
 		// a conservative footprint estimate for the byte bound.
 		d.idx.put(key, ix, 3*sampleBytes)
 	}
-	return ix, stats, nil
+	return ix, stats, span, nil
 }
 
 // runPlan compiles and drains an arbitrary plan over the dataset's current
 // data — the execution path for operators that are pure algebra (Dwell)
 // rather than index lookups. build receives the scan source to anchor the
 // plan's leaf; the returned rows carry each output row's Val column.
-func (d *Dataset) runPlan(build func(plan.Source) *plan.Plan) ([]plan.Row, Stats, error) {
+// With traced set, the returned span is the plan's per-operator trace root
+// (nil otherwise).
+func (d *Dataset) runPlan(traced bool, build func(plan.Source) *plan.Plan) ([]plan.Row, Stats, *obs.Span, error) {
 	var set *segmentSet
 	if d.format != storage.FormatCSV {
 		set = d.acquireSet()
 		if set == nil {
-			return nil, Stats{Format: string(d.format)}, errClosed
+			return nil, Stats{Format: string(d.format)}, nil, errClosed
 		}
 		defer set.release()
 	}
 	src := &planSource{d: d, set: set}
-	c, err := build(src).Compile()
+	p := build(src)
+	var c *plan.Compiled
+	var err error
+	if traced {
+		c, err = p.CompileTraced()
+	} else {
+		c, err = p.Compile()
+	}
 	if err != nil {
-		return nil, Stats{Format: string(d.format)}, err
+		return nil, Stats{Format: string(d.format)}, nil, err
 	}
 	rows, err := plan.CollectRows(c)
 	stats := src.finalStats()
 	if err != nil {
-		return nil, stats, err
+		return nil, stats, c.Trace(), err
 	}
-	return rows, stats, nil
+	return rows, stats, c.Trace(), nil
 }

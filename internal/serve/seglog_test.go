@@ -75,7 +75,7 @@ func operatorText(t *testing.T, ds *Dataset) string {
 		t.Fatal(err)
 	}
 	wresp.WriteText(&buf)
-	iresp, err := ds.Info()
+	iresp, err := ds.Info(false)
 	if err != nil {
 		t.Fatal(err)
 	}

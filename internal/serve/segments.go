@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -195,12 +196,17 @@ func (d *Dataset) Refresh() (bool, error) {
 	old.release()  // the Dataset's ownership of the displaced set
 	prev.release() // this refresh's temporary hold
 	d.refreshes.Add(1)
+	slog.Info("manifest refresh",
+		"generation", man.Generation,
+		"segments", len(next.segs),
+		"compactions", man.Compactions,
+		"dir", d.dir)
 	return true, nil
 }
 
-// watch polls the manifest until Close. Refresh errors are dropped: a
-// torn-state read (a writer mid-commit in another process) heals on the next
-// tick, and there is no caller to report to.
+// watch polls the manifest until Close. Refresh errors are logged at debug
+// and otherwise dropped: a torn-state read (a writer mid-commit in another
+// process) heals on the next tick, and there is no caller to report to.
 func (d *Dataset) watch(every time.Duration) {
 	defer d.watchWG.Done()
 	t := time.NewTicker(every)
@@ -210,7 +216,9 @@ func (d *Dataset) watch(every time.Duration) {
 		case <-d.stopWatch:
 			return
 		case <-t.C:
-			_, _ = d.Refresh()
+			if _, err := d.Refresh(); err != nil && err != errClosed {
+				slog.Debug("manifest watch refresh", "error", err.Error(), "dir", d.dir)
+			}
 		}
 	}
 }

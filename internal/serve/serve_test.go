@@ -241,11 +241,11 @@ func TestServerParity(t *testing.T) {
 			compareText(t, string(format)+"/dwell", local, remote)
 		}
 		{
-			local, err := ds.Info()
+			local, err := ds.Info(false)
 			if err != nil {
 				t.Fatal(err)
 			}
-			remote, err := c.Info()
+			remote, err := c.Info(false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -371,7 +371,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, reqErr = c.Info()
+		_, reqErr = c.Info(false)
 	}()
 	time.Sleep(100 * time.Millisecond) // let the slow request reach the handler
 
@@ -416,7 +416,7 @@ func TestRunUntilSignal(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, reqErr = c.Info()
+		_, reqErr = c.Info(false)
 	}()
 	time.Sleep(100 * time.Millisecond)
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"vita/internal/geom"
+	"vita/internal/obs"
 )
 
 // Server exposes a Dataset's query operators over HTTP with JSON responses:
@@ -33,10 +35,20 @@ import (
 // server's lifetime. Errors come back as {"error": "..."} with a 4xx/5xx
 // status.
 type Server struct {
-	ds    *Dataset
-	mux   *http.ServeMux
-	httpS *http.Server
-	start time.Time
+	ds      *Dataset
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
+	httpS   *http.Server
+	start   time.Time
+	opts    ServerOptions
+	logger  *slog.Logger
+	reg     *obs.Registry
+
+	// endpoints bounds the metric label space: only registered paths get
+	// their own series, everything else lands in "other".
+	endpoints map[string]bool
+	reqDur    *obs.HistogramVec
+	reqCount  *obs.CounterVec
 
 	requests  [opCount]atomic.Int64
 	errors    atomic.Int64
@@ -45,6 +57,24 @@ type Server struct {
 	decoded   atomic.Int64
 	idxHits   atomic.Int64
 	testDelay time.Duration // test hook: stall every operator request
+}
+
+// ServerOptions tunes the server's observability surface. The zero value
+// serves metrics on the process-wide default registry and logs through the
+// default slog logger, with the slow-query log disabled.
+type ServerOptions struct {
+	// SlowQuery, when positive, traces every operator request and logs the
+	// span tree of any request that takes at least this long. (Tracing must
+	// be on for the whole request — a trace cannot be reconstructed after
+	// the fact — but the trace is stripped from the response unless the
+	// client asked for it with ?trace=1.)
+	SlowQuery time.Duration
+	// Metrics is the registry behind GET /metricsz (nil = obs.Default()).
+	// Tests that assert on exact series pass a fresh obs.NewRegistry.
+	Metrics *obs.Registry
+	// Logger receives request, error, and slow-query logs (nil =
+	// slog.Default()).
+	Logger *slog.Logger
 }
 
 // Operator slots for the per-operator request counters.
@@ -60,23 +90,191 @@ const (
 
 var opNames = [opCount]string{"range", "knn", "density", "traj", "dwell", "info"}
 
-// NewServer wraps an opened dataset in an HTTP query server.
-func NewServer(ds *Dataset) *Server {
-	s := &Server{ds: ds, mux: http.NewServeMux(), start: time.Now()}
-	s.httpS = &http.Server{Handler: s.mux}
-	s.mux.HandleFunc("GET /v1/range", s.handleRange)
-	s.mux.HandleFunc("GET /v1/knn", s.handleKNN)
-	s.mux.HandleFunc("GET /v1/density", s.handleDensity)
-	s.mux.HandleFunc("GET /v1/traj", s.handleTraj)
-	s.mux.HandleFunc("GET /v1/dwell", s.handleDwell)
-	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+// NewServer wraps an opened dataset in an HTTP query server with default
+// observability options.
+func NewServer(ds *Dataset) *Server { return NewServerWith(ds, ServerOptions{}) }
+
+// NewServerWith wraps an opened dataset in an HTTP query server with
+// explicit observability options.
+func NewServerWith(ds *Dataset, opts ServerOptions) *Server {
+	s := &Server{ds: ds, mux: http.NewServeMux(), start: time.Now(), opts: opts}
+	s.logger = opts.Logger
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	s.reg = opts.Metrics
+	if s.reg == nil {
+		s.reg = obs.Default()
+	}
+	s.httpS = &http.Server{}
+	routes := map[string]http.HandlerFunc{
+		"/v1/range":   s.handleRange,
+		"/v1/knn":     s.handleKNN,
+		"/v1/density": s.handleDensity,
+		"/v1/traj":    s.handleTraj,
+		"/v1/dwell":   s.handleDwell,
+		"/v1/info":    s.handleInfo,
+		"/healthz":    s.handleHealthz,
+		"/statsz":     s.handleStatsz,
+		"/metricsz":   s.handleMetricsz,
+	}
+	s.endpoints = make(map[string]bool, len(routes))
+	for path, h := range routes {
+		s.mux.HandleFunc("GET "+path, h)
+		s.endpoints[path] = true
+	}
+	s.registerMetrics()
+	s.handler = s.withObs(s.mux)
+	s.httpS.Handler = s.handler
 	return s
 }
 
-// Handler returns the server's HTTP handler (useful with httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler, observability middleware
+// included (useful with httptest).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// registerMetrics exposes the server's and dataset's existing atomic
+// counters on the registry as scrape-time func metrics — one source of
+// truth, no double counting — plus the live request vectors.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	s.reqDur = r.HistogramVec("vita_http_request_duration_seconds",
+		"HTTP request latency in seconds by endpoint.", nil, "endpoint")
+	s.reqCount = r.CounterVec("vita_http_requests_total",
+		"HTTP requests by endpoint and response status.", "endpoint", "status")
+
+	counter := func(name, help string, fn func() int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(fn()) })
+	}
+	gauge := func(name, help string, fn func() int64) {
+		r.GaugeFunc(name, help, func() float64 { return float64(fn()) })
+	}
+	gauge("vita_http_in_flight", "Operator requests currently executing.", s.inFlight.Load)
+	counter("vita_http_errors_total", "Requests answered with an error body.", s.errors.Load)
+	counter("vita_blocks_pruned_total", "Blocks skipped by zone-map pruning across all requests.", s.pruned.Load)
+	counter("vita_blocks_decoded_total", "Blocks decoded (block-cache misses) across all requests.", s.decoded.Load)
+	counter("vita_index_cache_hits_total", "Requests answered from a cached predicate index.", s.idxHits.Load)
+
+	ds := s.ds
+	gauge("vita_index_cache_entries", "Predicate indexes currently cached.", func() int64 {
+		if ds.idx == nil {
+			return 0
+		}
+		return int64(ds.idx.len())
+	})
+	counter("vita_index_cache_invalidations_total", "Cached indexes dropped by manifest refreshes.", ds.IndexInvalidations)
+	counter("vita_block_cache_hits_total", "Decoded-block cache hits.", func() int64 { return ds.CacheStats().Hits })
+	counter("vita_block_cache_misses_total", "Decoded-block cache misses.", func() int64 { return ds.CacheStats().Misses })
+	counter("vita_block_cache_evictions_total", "Decoded blocks evicted by the cache's byte bound.", func() int64 { return ds.CacheStats().Evictions })
+	counter("vita_block_cache_invalidations_total", "Cached blocks dropped because their segment left the live set.", ds.BlockInvalidations)
+	gauge("vita_block_cache_bytes", "Bytes of decoded blocks resident in the cache.", func() int64 { return ds.CacheStats().Bytes })
+	gauge("vita_block_cache_blocks", "Decoded blocks resident in the cache.", func() int64 { return int64(ds.CacheStats().Blocks) })
+
+	gauge("vita_dataset_segments", "Live segments currently served (0 when not segmented).", func() int64 { return int64(ds.Segments()) })
+	gauge("vita_dataset_generation", "Manifest generation currently served.", func() int64 { return int64(ds.Generation()) })
+	counter("vita_compactions_total", "Compactions recorded by the served manifest (cross-process).", func() int64 { return int64(ds.Compactions()) })
+	counter("vita_manifest_refreshes_total", "Manifest generations the dataset has folded in.", ds.Refreshes)
+	obs.RegisterBuildInfo(r)
+}
+
+// reqCtxKey carries per-request observability state through the context.
+type reqCtxKey struct{}
+
+type reqInfo struct {
+	id    string
+	start time.Time
+}
+
+// reqInfoFrom returns the request's observability state, or nil when the
+// handler runs outside the middleware.
+func reqInfoFrom(r *http.Request) *reqInfo {
+	info, _ := r.Context().Value(reqCtxKey{}).(*reqInfo)
+	return info
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// withObs wraps the mux in the observability middleware: request-ID
+// generation (honoring a caller-supplied X-Request-Id) echoed in the
+// response header, per-endpoint latency histograms and status-labeled
+// request counters, and a structured request log line (info for /v1
+// operators, debug for everything else).
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		info := &reqInfo{id: id, start: time.Now()}
+		r = r.WithContext(context.WithValue(r.Context(), reqCtxKey{}, info))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		dur := time.Since(info.start)
+
+		ep := r.URL.Path
+		if !s.endpoints[ep] {
+			ep = "other"
+		}
+		s.reqDur.With(ep).Observe(dur.Seconds())
+		s.reqCount.With(ep, strconv.Itoa(rec.status)).Inc()
+
+		logFn := s.logger.Debug
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			logFn = s.logger.Info
+		}
+		logFn("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(dur)/float64(time.Millisecond),
+			"request_id", id)
+	})
+}
+
+// finishTrace completes an operator request's tracing: it emits the
+// slow-query log when the request crossed the threshold, then strips the
+// trace from the response unless the client asked for it. No-op when the
+// response carries no trace (tracing off).
+func (s *Server) finishTrace(r *http.Request, wantTrace bool, trace **obs.Span) {
+	if *trace == nil {
+		return
+	}
+	if s.opts.SlowQuery > 0 {
+		if info := reqInfoFrom(r); info != nil {
+			if dur := time.Since(info.start); dur >= s.opts.SlowQuery {
+				js, _ := json.Marshal(*trace)
+				s.logger.Warn("slow query",
+					"path", r.URL.Path,
+					"query", r.URL.RawQuery,
+					"duration_ms", float64(dur)/float64(time.Millisecond),
+					"threshold_ms", float64(s.opts.SlowQuery)/float64(time.Millisecond),
+					"request_id", info.id,
+					"trace", string(js))
+			}
+		}
+	}
+	if !wantTrace {
+		*trace = nil
+	}
+}
+
+// traceParams reads the request's tracing decision: wantTrace is the
+// client's ?trace=1 ask; doTrace additionally covers the slow-query log,
+// which needs the trace recorded up front for every request it might flag.
+func (s *Server) traceParams(r *http.Request) (wantTrace, doTrace bool) {
+	wantTrace = r.URL.Query().Get("trace") == "1"
+	return wantTrace, wantTrace || s.opts.SlowQuery > 0
+}
 
 // EnablePprof mounts net/http/pprof's profiling endpoints under
 // /debug/pprof/ on the server's mux (vitaserve's -pprof flag), so a running
@@ -160,24 +358,27 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if v := r.URL.Query().Get("floor"); v != "" {
 		if q.Floor, err = strconv.Atoi(v); err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad floor %q", v))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("bad floor %q", v))
 			return
 		}
 	}
 	if q.Box, err = ParseBox(r.URL.Query().Get("box")); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if q.T0, q.T1, err = parseWindow(r, 0, 0); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
+	wantTrace, doTrace := s.traceParams(r)
+	q.Trace = doTrace
 	resp, err := s.ds.Range(q)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	s.track(opRange, &resp.Stats)
+	s.finishTrace(r, wantTrace, &resp.Trace)
 	s.writeJSON(w, resp)
 }
 
@@ -188,30 +389,33 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if v := r.URL.Query().Get("floor"); v != "" {
 		if q.Floor, err = strconv.Atoi(v); err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad floor %q", v))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("bad floor %q", v))
 			return
 		}
 	}
 	if q.At, err = ParsePoint(r.URL.Query().Get("at")); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if q.T, err = parseFloatParam(r, "t", 0); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if v := r.URL.Query().Get("k"); v != "" {
 		if q.K, err = strconv.Atoi(v); err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad k %q", v))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("bad k %q", v))
 			return
 		}
 	}
+	wantTrace, doTrace := s.traceParams(r)
+	q.Trace = doTrace
 	resp, err := s.ds.KNN(q)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	s.track(opKNN, &resp.Stats)
+	s.finishTrace(r, wantTrace, &resp.Trace)
 	s.writeJSON(w, resp)
 }
 
@@ -220,15 +424,17 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 	defer s.inFlight.Add(-1)
 	t, err := parseFloatParam(r, "t", 0)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.ds.Density(DensityRequest{T: t})
+	wantTrace, doTrace := s.traceParams(r)
+	resp, err := s.ds.Density(DensityRequest{T: t, Trace: doTrace})
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	s.track(opDensity, &resp.Stats)
+	s.finishTrace(r, wantTrace, &resp.Trace)
 	s.writeJSON(w, resp)
 }
 
@@ -239,20 +445,23 @@ func (s *Server) handleTraj(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if v := r.URL.Query().Get("obj"); v != "" {
 		if q.Obj, err = strconv.Atoi(v); err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad obj %q", v))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("bad obj %q", v))
 			return
 		}
 	}
 	if q.T0, q.T1, err = parseWindow(r, 0, 1e18); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
+	wantTrace, doTrace := s.traceParams(r)
+	q.Trace = doTrace
 	resp, err := s.ds.Traj(q)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	s.track(opTraj, &resp.Stats)
+	s.finishTrace(r, wantTrace, &resp.Trace)
 	s.writeJSON(w, resp)
 }
 
@@ -263,37 +472,67 @@ func (s *Server) handleDwell(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if v := r.URL.Query().Get("floor"); v != "" {
 		if q.Floor, err = strconv.Atoi(v); err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad floor %q", v))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("bad floor %q", v))
 			return
 		}
 	}
 	if q.T0, q.T1, err = parseWindow(r, 0, 1e18); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
+	wantTrace, doTrace := s.traceParams(r)
+	q.Trace = doTrace
 	resp, err := s.ds.Dwell(q)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	s.track(opDwell, &resp.Stats)
+	s.finishTrace(r, wantTrace, &resp.Trace)
 	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
-	resp, err := s.ds.Info()
+	wantTrace, doTrace := s.traceParams(r)
+	resp, err := s.ds.Info(doTrace)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	s.track(opInfo, &resp.Stats)
+	s.finishTrace(r, wantTrace, &resp.Trace)
 	s.writeJSON(w, resp)
 }
 
+// Health is the /healthz payload: liveness plus build identity, so one
+// probe answers "is it up" and "what exactly is running".
+type Health struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	Commit        string  `json:"commit"`
+	Go            string  `json:"go"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, map[string]string{"status": "ok"})
+	b := obs.Build()
+	s.writeJSON(w, Health{
+		Status:        "ok",
+		Version:       b.Version,
+		Commit:        b.Commit,
+		Go:            b.Go,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetricsz serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.errors.Add(1)
+	}
 }
 
 // ServerStats is the /statsz payload: lifetime request counters, cache
@@ -367,11 +606,29 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+// errorBody is the structured error envelope every failed request returns:
+// the message plus the request ID, so a client-side report can be joined
+// against the server's logs.
+type errorBody struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, err error) {
 	s.errors.Add(1)
+	var id string
+	if info := reqInfoFrom(r); info != nil {
+		id = info.id
+	}
+	s.logger.Warn("request failed",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", status,
+		"error", err.Error(),
+		"request_id", id)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), RequestID: id})
 }
 
 func parseFloatParam(r *http.Request, name string, def float64) (float64, error) {

@@ -7,6 +7,7 @@ import (
 
 	"vita/internal/colstore"
 	"vita/internal/geom"
+	"vita/internal/obs"
 	"vita/internal/query"
 	"vita/internal/trajectory"
 )
@@ -55,6 +56,10 @@ type RangeRequest struct {
 	Box   geom.BBox `json:"box"`
 	T0    float64   `json:"t0"`
 	T1    float64   `json:"t1"`
+	// Trace asks for a per-operator span tree in the response. Not part of
+	// the query identity, so excluded from the wire encoding of the query
+	// echo (the HTTP server reads it from ?trace=1).
+	Trace bool `json:"-"`
 }
 
 // RangeResponse carries the matching samples ordered by (object, time).
@@ -63,6 +68,7 @@ type RangeResponse struct {
 	Hits    []trajectory.Sample `json:"hits"`
 	Objects []int               `json:"objects"`
 	Stats   Stats               `json:"stats"`
+	Trace   *obs.Span           `json:"trace,omitempty"`
 }
 
 // WriteText renders the response exactly as `vitaquery range` prints it.
@@ -83,6 +89,7 @@ type KNNRequest struct {
 	At    geom.Point `json:"at"`
 	T     float64    `json:"t"`
 	K     int        `json:"k"`
+	Trace bool       `json:"-"`
 }
 
 // KNNResponse carries the neighbors, nearest first.
@@ -90,6 +97,7 @@ type KNNResponse struct {
 	Query     KNNRequest       `json:"query"`
 	Neighbors []query.Neighbor `json:"neighbors"`
 	Stats     Stats            `json:"stats"`
+	Trace     *obs.Span        `json:"trace,omitempty"`
 }
 
 // WriteText renders the response exactly as `vitaquery knn` prints it.
@@ -104,7 +112,8 @@ func (r *KNNResponse) WriteText(w io.Writer) error {
 
 // DensityRequest asks for the per-partition object counts at instant T.
 type DensityRequest struct {
-	T float64 `json:"t"`
+	T     float64 `json:"t"`
+	Trace bool    `json:"-"`
 }
 
 // DensityResponse carries the snapshot density per partition.
@@ -112,6 +121,7 @@ type DensityResponse struct {
 	Query  DensityRequest `json:"query"`
 	Counts map[string]int `json:"counts"`
 	Stats  Stats          `json:"stats"`
+	Trace  *obs.Span      `json:"trace,omitempty"`
 }
 
 // WriteText renders the response exactly as `vitaquery density` prints it:
@@ -140,9 +150,10 @@ func (r *DensityResponse) WriteText(w io.Writer) error {
 
 // TrajRequest asks for object Obj's samples during [T0, T1].
 type TrajRequest struct {
-	Obj int     `json:"obj"`
-	T0  float64 `json:"t0"`
-	T1  float64 `json:"t1"`
+	Obj   int     `json:"obj"`
+	T0    float64 `json:"t0"`
+	T1    float64 `json:"t1"`
+	Trace bool    `json:"-"`
 }
 
 // TrajResponse carries the object's samples in time order.
@@ -150,6 +161,7 @@ type TrajResponse struct {
 	Query   TrajRequest         `json:"query"`
 	Samples []trajectory.Sample `json:"samples"`
 	Stats   Stats               `json:"stats"`
+	Trace   *obs.Span           `json:"trace,omitempty"`
 }
 
 // WriteText renders the response exactly as `vitaquery traj` prints it.
@@ -169,6 +181,7 @@ type DwellRequest struct {
 	Floor int     `json:"floor"`
 	T0    float64 `json:"t0"`
 	T1    float64 `json:"t1"`
+	Trace bool    `json:"-"`
 }
 
 // DwellRoom is one partition's dwell summary.
@@ -187,6 +200,7 @@ type DwellResponse struct {
 	Query DwellRequest `json:"query"`
 	Rooms []DwellRoom  `json:"rooms"`
 	Stats Stats        `json:"stats"`
+	Trace *obs.Span    `json:"trace,omitempty"`
 }
 
 // WriteText renders the response exactly as `vitaquery dwell` prints it.
@@ -211,8 +225,9 @@ type InfoResponse struct {
 	T0      float64 `json:"t0"`
 	T1      float64 `json:"t1"`
 	// Empty reports a dataset with no samples (T0/T1 then meaningless).
-	Empty bool  `json:"empty"`
-	Stats Stats `json:"stats"`
+	Empty bool      `json:"empty"`
+	Stats Stats     `json:"stats"`
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 // WriteText renders the response exactly as `vitaquery info` prints it.

@@ -37,6 +37,7 @@ import (
 	"vita/internal/core"
 	"vita/internal/geom"
 	"vita/internal/ifc"
+	"vita/internal/obs"
 	"vita/internal/plan"
 	"vita/internal/positioning"
 	"vita/internal/query"
@@ -402,6 +403,47 @@ func OpenQueryDataset(dir string, cfg QueryServeConfig) (*QueryDataset, error) {
 // NewQueryServer wraps an opened dataset in an HTTP query server; see
 // cmd/vitaserve for the endpoint catalogue.
 func NewQueryServer(ds *QueryDataset) *QueryServer { return serve.NewServer(ds) }
+
+// --- observability (internal/obs) ---
+
+// QueryServerOptions tunes a query server's observability: the slow-query
+// log threshold, the metrics registry to expose on /metricsz, and the
+// structured logger receiving request/error/slow-query lines. The zero
+// value matches NewQueryServer (default registry, default logger, slow-query
+// log off).
+type QueryServerOptions = serve.ServerOptions
+
+// NewQueryServerWith is NewQueryServer with explicit observability options.
+func NewQueryServerWith(ds *QueryDataset, opts QueryServerOptions) *QueryServer {
+	return serve.NewServerWith(ds, opts)
+}
+
+// QueryTrace is one node of a per-operator execution trace — the operator
+// name, batches/rows that flowed through it, inclusive wall time, scan
+// pruning stats, and children. Responses carry one when the request asked
+// for tracing (Trace field on the request, ?trace=1 over HTTP).
+type QueryTrace = obs.Span
+
+// MetricsRegistry is a set of named counters, gauges, and histograms
+// rendered in Prometheus text exposition format via WritePrometheus.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry (useful for tests and for
+// hosting several servers in one process without shared series).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-wide registry, where package-level
+// instrumentation (segment-log writers and compactors) reports.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// VersionInfo identifies the running build: version and commit (stamped
+// via `-ldflags "-X vita/internal/obs.Version=... -X
+// vita/internal/obs.Commit=..."`, with the module VCS revision as
+// fallback) plus the Go toolchain version.
+type VersionInfo = obs.BuildInfo
+
+// Version reports the running build's identity.
+func Version() VersionInfo { return obs.Build() }
 
 // --- vectorized operator algebra (internal/plan) ---
 //
