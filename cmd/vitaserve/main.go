@@ -20,7 +20,8 @@
 // The VTB file is memory-mapped by default so cache-miss block decodes read
 // straight from the OS page cache (-mmap=false falls back to plain reads);
 // -pprof mounts the standard profiling endpoints for profiling the daemon in
-// place.
+// place and turns on block/mutex profiling at sane sampling defaults
+// (-block-profile-rate, -mutex-profile-fraction tune or disable them).
 //
 // Live datasets: when -data holds a segment log (vitagen -segment-mb/-rows
 // output, or the log directory itself), the daemon polls the manifest every
@@ -83,6 +84,8 @@ func run() error {
 	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain timeout on shutdown")
 	useMmap := flag.Bool("mmap", true, "memory-map the VTB file (false = plain file reads)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes internals; keep off on untrusted networks)")
+	blockRate := flag.Int("block-profile-rate", serve.DefaultPprofOptions().BlockProfileRate, "with -pprof: sample one blocking event per this many ns blocked (1 = every event, <0 disables block profiling)")
+	mutexFrac := flag.Int("mutex-profile-fraction", serve.DefaultPprofOptions().MutexProfileFraction, "with -pprof: sample 1/this of mutex contention events (1 = every event, <0 disables mutex profiling)")
 	watch := flag.Duration("watch", time.Second, "manifest poll interval for live segmented datasets (0 disables refresh)")
 	compactEvery := flag.Duration("compact", 0, "run in-process compaction of a segmented dataset at this interval (0 disables; obey the single-mutator rule: no other writer/compactor process)")
 	slowQuery := flag.Duration("slow-query", 0, "log a per-operator trace for any request slower than this (0 disables)")
@@ -168,8 +171,14 @@ func run() error {
 
 	srv := serve.NewServerWith(ds, serve.ServerOptions{SlowQuery: *slowQuery})
 	if *pprofOn {
-		srv.EnablePprof()
-		slog.Info("pprof enabled", "addr", fmt.Sprintf("http://%s/debug/pprof/", l.Addr()))
+		srv.EnablePprofWith(serve.PprofOptions{
+			BlockProfileRate:     *blockRate,
+			MutexProfileFraction: *mutexFrac,
+		})
+		slog.Info("pprof enabled",
+			"addr", fmt.Sprintf("http://%s/debug/pprof/", l.Addr()),
+			"block_profile_rate", *blockRate,
+			"mutex_profile_fraction", *mutexFrac)
 	}
 	if err := srv.RunUntilSignal(context.Background(), l, *drain, syscall.SIGINT, syscall.SIGTERM); err != nil {
 		return err

@@ -1,0 +1,79 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ScrapeMetrics fetches a Prometheus text exposition endpoint (vitaserve's
+// /metricsz) and parses every sample line into "name{labels}" → value.
+// base may be the server base URL or the full metrics URL.
+func ScrapeMetrics(base string) (map[string]float64, error) {
+	url := base
+	if !strings.HasSuffix(url, "/metricsz") {
+		url = strings.TrimRight(url, "/") + "/metricsz"
+	}
+	res, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: %s: HTTP %d", url, res.StatusCode)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(res.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// counterish reports whether a series name follows the Prometheus
+// cumulative conventions — the only series where an after-before subtraction
+// is meaningful.
+func counterish(series string) bool {
+	name := series
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		name = series[:i]
+	}
+	return strings.HasSuffix(name, "_total") ||
+		strings.HasSuffix(name, "_count") ||
+		strings.HasSuffix(name, "_sum") ||
+		strings.HasSuffix(name, "_bucket")
+}
+
+// DeltaCounters subtracts two scrapes, keeping only cumulative series that
+// moved: the server-side cost of whatever happened between them. Series
+// absent from before (registered mid-run) count from zero.
+func DeltaCounters(before, after map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for series, v := range after {
+		if !counterish(series) {
+			continue
+		}
+		if d := v - before[series]; d != 0 {
+			out[series] = d
+		}
+	}
+	return out
+}

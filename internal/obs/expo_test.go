@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text rendered for one of each metric
+// shape — unlabeled counter, labeled counter, gauge, func metric, and a
+// labeled histogram with cumulative le buckets, +Inf, _sum/_count, and label
+// escaping. Scrapers parse this format byte by byte; any drift is a break.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs\nprocessed \\ overall.").Add(3)
+	v := r.CounterVec("req_total", "Requests.", "ep", "code")
+	v.With("/x", "200").Add(2)
+	v.With("/a", "500").Inc()
+	r.Gauge("temp", "A gauge.").Set(1.5)
+	h := r.HistogramVec("lat_seconds", "Latency.", []float64{0.1, 1}, "ep")
+	esc := `q"\`
+	h.With(esc).Observe(0.25)
+	h.With(esc).Observe(0.5)
+	h.With(esc).Observe(2)
+	r.GaugeFunc("fn_gauge", "Computed.", func() float64 { return 7 })
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs_total Jobs\nprocessed \\ overall.
+# TYPE jobs_total counter
+jobs_total 3
+# HELP req_total Requests.
+# TYPE req_total counter
+req_total{ep="/a",code="500"} 1
+req_total{ep="/x",code="200"} 2
+# HELP temp A gauge.
+# TYPE temp gauge
+temp 1.5
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{ep="q\"\\",le="0.1"} 0
+lat_seconds_bucket{ep="q\"\\",le="1"} 2
+lat_seconds_bucket{ep="q\"\\",le="+Inf"} 3
+lat_seconds_sum{ep="q\"\\"} 2.75
+lat_seconds_count{ep="q\"\\"} 3
+# HELP fn_gauge Computed.
+# TYPE fn_gauge gauge
+fn_gauge 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// parseExposition turns rendered text into "name{labels}" → value, failing
+// on any malformed sample line.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestRuntimeMetrics asserts the go_*/process_* series registered by
+// RegisterRuntimeMetrics are present and carry sane live values.
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // rebinding must be harmless
+
+	// Touch the allocator so the memstats series cannot be all-zero.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	m := parseExposition(t, b.String())
+
+	positive := []string{
+		"go_goroutines", "go_gomaxprocs",
+		"go_memstats_alloc_bytes", "go_memstats_alloc_bytes_total",
+		"go_memstats_sys_bytes", "go_memstats_heap_inuse_bytes",
+		"go_memstats_heap_objects", "go_memstats_next_gc_bytes",
+		"process_start_time_seconds", "process_uptime_seconds",
+	}
+	for _, name := range positive {
+		v, ok := m[name]
+		if !ok {
+			t.Errorf("missing series %s", name)
+		} else if v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	// GC counters exist but may legitimately still be zero in a fresh process.
+	for _, name := range []string{"go_gc_cycles_total", "go_gc_pause_seconds_total", "go_gc_cpu_fraction"} {
+		if v, ok := m[name]; !ok {
+			t.Errorf("missing series %s", name)
+		} else if v < 0 {
+			t.Errorf("%s = %v, want >= 0", name, v)
+		}
+	}
+
+	if runtime.GOOS == "linux" {
+		rss := m["process_resident_memory_bytes"]
+		if rss < 1<<20 || rss > 1<<42 {
+			t.Errorf("process_resident_memory_bytes = %v, want within (1MiB, 4TiB)", rss)
+		}
+		if m["process_virtual_memory_bytes"] < rss {
+			t.Errorf("vsize %v < rss %v", m["process_virtual_memory_bytes"], rss)
+		}
+		if m["process_open_fds"] < 1 {
+			t.Errorf("process_open_fds = %v, want >= 1", m["process_open_fds"])
+		}
+		if m["process_max_fds"] < m["process_open_fds"] {
+			t.Errorf("max_fds %v < open_fds %v", m["process_max_fds"], m["process_open_fds"])
+		}
+		if m["process_num_threads"] < 1 {
+			t.Errorf("process_num_threads = %v, want >= 1", m["process_num_threads"])
+		}
+		if v, ok := m["process_cpu_seconds_total"]; !ok || v < 0 {
+			t.Errorf("process_cpu_seconds_total = %v, ok=%v", v, ok)
+		}
+	}
+}

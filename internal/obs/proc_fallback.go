@@ -1,0 +1,18 @@
+//go:build !linux
+
+package obs
+
+// procStats mirrors the Linux sampler's shape on platforms without procfs;
+// readProcStats always reports ok=false there, so RegisterRuntimeMetrics
+// skips the process_* series that would have no source.
+type procStats struct {
+	rssBytes   float64
+	vsizeBytes float64
+	cpuSeconds float64
+	openFDs    float64
+	maxFDs     float64
+	threads    float64
+}
+
+// readProcStats reports that no OS process sampler is available.
+func readProcStats() (procStats, bool) { return procStats{}, false }

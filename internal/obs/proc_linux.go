@@ -1,0 +1,64 @@
+//go:build linux
+
+package obs
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// procStats is one sample of the OS-level process state read from
+// /proc/self. Fields are float64 because they feed func metrics directly.
+type procStats struct {
+	rssBytes   float64
+	vsizeBytes float64
+	cpuSeconds float64
+	openFDs    float64
+	maxFDs     float64
+	threads    float64
+}
+
+// clockTicksPerSecond is Linux's USER_HZ; fixed at 100 on every architecture
+// Go supports (the sysconf(_SC_CLK_TCK) value userspace sees).
+const clockTicksPerSecond = 100
+
+// readProcStats samples /proc/self. ok is false when procfs is missing or
+// unreadable (containers with a masked /proc, non-Linux builds).
+func readProcStats() (procStats, bool) {
+	data, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return procStats{}, false
+	}
+	// Field 2 (comm) may contain spaces; everything after the closing paren
+	// is space-separated. Fields below are numbered from 1 per proc(5):
+	// 14 utime, 15 stime, 20 num_threads, 23 vsize, 24 rss (pages).
+	i := strings.LastIndexByte(string(data), ')')
+	if i < 0 {
+		return procStats{}, false
+	}
+	f := strings.Fields(string(data[i+1:])) // f[0] is field 3 (state)
+	fieldAt := func(n int) float64 {
+		idx := n - 3
+		if idx < 0 || idx >= len(f) {
+			return 0
+		}
+		v, _ := strconv.ParseFloat(f[idx], 64)
+		return v
+	}
+	var st procStats
+	st.cpuSeconds = (fieldAt(14) + fieldAt(15)) / clockTicksPerSecond
+	st.threads = fieldAt(20)
+	st.vsizeBytes = fieldAt(23)
+	st.rssBytes = fieldAt(24) * float64(os.Getpagesize())
+
+	if ents, err := os.ReadDir("/proc/self/fd"); err == nil {
+		st.openFDs = float64(len(ents))
+	}
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err == nil {
+		st.maxFDs = float64(lim.Cur)
+	}
+	return st, true
+}

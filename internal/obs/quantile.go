@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// QuantileHistogram records observations into logarithmically spaced buckets
+// and answers arbitrary quantile queries with a bounded relative error — the
+// client-side complement to the fixed-bucket Prometheus Histogram, whose
+// hand-picked bucket edges cannot report a p99 more precisely than the gap
+// between two edges. The load harness uses one per endpoint to report
+// p50/p90/p99/p99.9 honestly over millions of latency samples in O(buckets)
+// memory.
+//
+// Bucket i covers [Min·Growth^i, Min·Growth^(i+1)); Quantile returns the
+// geometric midpoint of the bucket holding the requested rank, so the
+// relative error of any reported quantile is at most √Growth − 1 (about 2%
+// for the default 1.04 growth factor). Values below Min land in the first
+// bucket and values at or above Max in the last; the exact observed minimum
+// and maximum are tracked separately and returned for the extreme quantiles,
+// so the error bound degrades only for interior ranks that fall into the two
+// clamp buckets.
+//
+// Observe is lock-free (one atomic add on a bucket, CAS loops for sum and
+// extrema) and safe for concurrent use with Quantile and the other readers;
+// a concurrent snapshot is weakly consistent, which is fine for progress
+// reporting and final reports taken after workers stop.
+type QuantileHistogram struct {
+	min    float64 // lower edge of bucket 0
+	logMin float64
+	invLog float64 // 1 / ln(Growth)
+	growth float64
+
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sum     Gauge
+	minSeen atomic.Uint64 // math.Float64bits of the smallest observation
+	maxSeen atomic.Uint64 // math.Float64bits of the largest observation
+}
+
+// Default layout for latency-in-seconds histograms: 1µs to ~1000s with ~2%
+// quantile error, 711 buckets (~6 KiB of counters).
+const (
+	defQuantileMin    = 1e-6
+	defQuantileMax    = 1200.0
+	defQuantileGrowth = 1.04
+)
+
+// NewQuantileHistogram returns a histogram whose buckets cover [min, max)
+// with the given per-bucket growth factor (> 1). The bucket count is
+// ceil(ln(max/min) / ln(growth)) + 2 clamp buckets.
+func NewQuantileHistogram(min, max, growth float64) *QuantileHistogram {
+	if !(min > 0) || !(max > min) || !(growth > 1) {
+		panic("obs: NewQuantileHistogram wants 0 < min < max and growth > 1")
+	}
+	n := int(math.Ceil(math.Log(max/min)/math.Log(growth))) + 2
+	h := &QuantileHistogram{
+		min:    min,
+		logMin: math.Log(min),
+		invLog: 1 / math.Log(growth),
+		growth: growth,
+		counts: make([]atomic.Uint64, n),
+	}
+	h.minSeen.Store(math.Float64bits(math.Inf(1)))
+	h.maxSeen.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// NewLatencyHistogram returns the stock latency layout: seconds from 1µs to
+// 20 minutes with ≤ ~2% relative quantile error.
+func NewLatencyHistogram() *QuantileHistogram {
+	return NewQuantileHistogram(defQuantileMin, defQuantileMax, defQuantileGrowth)
+}
+
+// bucketOf maps a value to its bucket index, clamping below min and above
+// the top edge.
+func (h *QuantileHistogram) bucketOf(v float64) int {
+	if v < h.min {
+		return 0
+	}
+	i := int((math.Log(v)-h.logMin)*h.invLog) + 1
+	if i >= len(h.counts) {
+		return len(h.counts) - 1
+	}
+	return i
+}
+
+// Observe records one value. Negative and NaN values are recorded in the
+// underflow bucket (they count, but report as the observed minimum).
+func (h *QuantileHistogram) Observe(v float64) {
+	i := 0
+	if v > 0 && !math.IsNaN(v) {
+		i = h.bucketOf(v)
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	casFloor(&h.minSeen, v)
+	casCeil(&h.maxSeen, v)
+}
+
+// casFloor lowers the stored float64 bits to v if v is smaller.
+func casFloor(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) || bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// casCeil raises the stored float64 bits to v if v is larger.
+func casCeil(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) || bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *QuantileHistogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *QuantileHistogram) Sum() float64 { return h.sum.Value() }
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (h *QuantileHistogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Value() / float64(n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *QuantileHistogram) Min() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minSeen.Load())
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *QuantileHistogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxSeen.Load())
+}
+
+// Quantile returns the value at quantile q ∈ [0, 1] with relative error at
+// most √Growth − 1 (see the type comment). q ≤ 0 returns the exact minimum,
+// q ≥ 1 the exact maximum, and an empty histogram returns 0. The answer is
+// the geometric midpoint of the bucket containing the rank-⌈q·count⌉
+// observation, clamped into [Min(), Max()] so a nearly-empty bucket range
+// never reports a value outside what was actually observed.
+func (h *QuantileHistogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	bucket := len(h.counts) - 1
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			bucket = i
+			break
+		}
+	}
+	var v float64
+	switch bucket {
+	case 0:
+		v = h.min // underflow: everything below the first edge
+	case len(h.counts) - 1:
+		v = h.Max() // overflow bucket: the exact max is the best estimate
+	default:
+		lo := h.min * math.Pow(h.growth, float64(bucket-1))
+		v = lo * math.Sqrt(h.growth) // geometric midpoint of [lo, lo·growth)
+	}
+	return math.Min(math.Max(v, h.Min()), h.Max())
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches one runtime.ReadMemStats (and /proc/self read, where
+// available) per scrape burst. Every go_*/process_* series is a func metric,
+// and a scrape evaluates a dozen of them back to back; without the cache each
+// series would stop the world once per sample line. Within maxAge the whole
+// exposition reads one consistent snapshot.
+type runtimeSampler struct {
+	mu     sync.Mutex
+	maxAge time.Duration
+	taken  time.Time
+	mem    runtime.MemStats
+	goro   int
+	proc   procStats
+	procOK bool
+}
+
+// snapshot returns the cached sample, refreshing it when older than maxAge.
+func (s *runtimeSampler) snapshot() (*runtimeSampler, func()) {
+	s.mu.Lock()
+	if time.Since(s.taken) > s.maxAge || s.taken.IsZero() {
+		runtime.ReadMemStats(&s.mem)
+		s.goro = runtime.NumGoroutine()
+		s.proc, s.procOK = readProcStats()
+		s.taken = time.Now()
+	}
+	return s, s.mu.Unlock
+}
+
+// mem returns fn applied to a fresh-enough MemStats snapshot.
+func (s *runtimeSampler) memStat(fn func(*runtime.MemStats) float64) func() float64 {
+	return func() float64 {
+		snap, release := s.snapshot()
+		defer release()
+		return fn(&snap.mem)
+	}
+}
+
+// procStat returns fn applied to a fresh-enough process snapshot.
+func (s *runtimeSampler) procStat(fn func(procStats) float64) func() float64 {
+	return func() float64 {
+		snap, release := s.snapshot()
+		defer release()
+		return fn(snap.proc)
+	}
+}
+
+// RegisterRuntimeMetrics exposes the Go runtime and OS process series a real
+// deployment pages on — goroutine count, heap and GC behavior, CPU time,
+// RSS, and file-descriptor usage — as go_*/process_* func metrics on r,
+// following the Prometheus client conventions for these names. Underlying
+// runtime/procfs reads are cached for 100ms so one scrape costs one
+// ReadMemStats, not one per series. The process_* series needing /proc/self
+// are registered only where that is available (Linux); process_start_time
+// and CPU/memory series from the runtime are registered everywhere.
+// Registering twice on the same registry is a harmless rebind.
+func RegisterRuntimeMetrics(r *Registry) {
+	s := &runtimeSampler{maxAge: 100 * time.Millisecond}
+
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 {
+			snap, release := s.snapshot()
+			defer release()
+			return float64(snap.goro)
+		})
+	r.GaugeFunc("go_gomaxprocs", "GOMAXPROCS: simultaneously executing OS threads running Go code.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+
+	mem := func(name, help string, fn func(*runtime.MemStats) float64) {
+		r.GaugeFunc(name, help, s.memStat(fn))
+	}
+	memTotal := func(name, help string, fn func(*runtime.MemStats) float64) {
+		r.CounterFunc(name, help, s.memStat(fn))
+	}
+	mem("go_memstats_alloc_bytes", "Bytes of allocated heap objects.",
+		func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) })
+	memTotal("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) })
+	mem("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.",
+		func(m *runtime.MemStats) float64 { return float64(m.Sys) })
+	mem("go_memstats_heap_inuse_bytes", "Bytes in in-use heap spans.",
+		func(m *runtime.MemStats) float64 { return float64(m.HeapInuse) })
+	mem("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) })
+	mem("go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.",
+		func(m *runtime.MemStats) float64 { return float64(m.NextGC) })
+	mem("go_memstats_last_gc_time_seconds", "Unix time of the last completed GC cycle.",
+		func(m *runtime.MemStats) float64 { return float64(m.LastGC) / 1e9 })
+	memTotal("go_gc_cycles_total", "Completed GC cycles.",
+		func(m *runtime.MemStats) float64 { return float64(m.NumGC) })
+	memTotal("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 })
+	mem("go_gc_cpu_fraction", "Fraction of available CPU time used by the GC since program start.",
+		func(m *runtime.MemStats) float64 { return m.GCCPUFraction })
+
+	r.GaugeFunc("process_start_time_seconds", "Unix time the process started.",
+		func() float64 { return float64(startTime.UnixNano()) / 1e9 })
+	r.GaugeFunc("process_uptime_seconds", "Seconds since the process started.",
+		func() float64 { return Uptime().Seconds() })
+
+	if _, ok := readProcStats(); !ok {
+		return // no procfs on this platform; the go_* series still cover the runtime
+	}
+	proc := func(name, help string, counter bool, fn func(procStats) float64) {
+		if counter {
+			r.CounterFunc(name, help, s.procStat(fn))
+		} else {
+			r.GaugeFunc(name, help, s.procStat(fn))
+		}
+	}
+	proc("process_resident_memory_bytes", "Resident set size in bytes.", false,
+		func(p procStats) float64 { return p.rssBytes })
+	proc("process_virtual_memory_bytes", "Virtual memory size in bytes.", false,
+		func(p procStats) float64 { return p.vsizeBytes })
+	proc("process_cpu_seconds_total", "Total user and system CPU time spent.", true,
+		func(p procStats) float64 { return p.cpuSeconds })
+	proc("process_open_fds", "Open file descriptors.", false,
+		func(p procStats) float64 { return p.openFDs })
+	proc("process_max_fds", "Soft limit on open file descriptors.", false,
+		func(p procStats) float64 { return p.maxFDs })
+	proc("process_num_threads", "OS threads in the process.", false,
+		func(p procStats) float64 { return p.threads })
+}

@@ -78,6 +78,7 @@ type TrajectoryIndex struct {
 	objects []int // sorted distinct object IDs
 	minT    float64
 	maxT    float64
+	bounds  geom.BBox // tight bbox over all sample locations
 }
 
 // NewTrajectoryIndex builds the index over samples. The input slice is not
@@ -114,6 +115,10 @@ func NewIndexBuilder(opts Options) *IndexBuilder {
 			buckets: make(map[bucketKey]*bucket),
 			minT:    math.Inf(1),
 			maxT:    math.Inf(-1),
+			bounds: geom.BBox{
+				Min: geom.Pt(math.Inf(1), math.Inf(1)),
+				Max: geom.Pt(math.Inf(-1), math.Inf(-1)),
+			},
 		},
 		perBucket: make(map[bucketKey][]index.Item),
 		floorSet:  make(map[int]bool),
@@ -129,6 +134,9 @@ func (b *IndexBuilder) Add(s trajectory.Sample) {
 	b.floorSet[s.Loc.Floor] = true
 	ix.minT = math.Min(ix.minT, s.T)
 	ix.maxT = math.Max(ix.maxT, s.T)
+	p := s.Loc.Point
+	ix.bounds.Min = geom.Pt(math.Min(ix.bounds.Min.X, p.X), math.Min(ix.bounds.Min.Y, p.Y))
+	ix.bounds.Max = geom.Pt(math.Max(ix.bounds.Max.X, p.X), math.Max(ix.bounds.Max.Y, p.Y))
 }
 
 // AddBatch appends every row of a decoded column batch. The batch is not
@@ -215,6 +223,16 @@ func (ix *TrajectoryIndex) Floors() []int {
 	out := make([]int, len(ix.floors))
 	copy(out, ix.floors)
 	return out
+}
+
+// Bounds returns the tight bounding box over every indexed sample's
+// location; ok is false for an empty index. Workload generators use it to
+// draw spatial query parameters that actually intersect the data.
+func (ix *TrajectoryIndex) Bounds() (geom.BBox, bool) {
+	if len(ix.objects) == 0 {
+		return geom.BBox{}, false
+	}
+	return ix.bounds, true
 }
 
 // TimeSpan returns the [min, max] sample times; ok is false for an empty

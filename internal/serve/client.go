@@ -7,6 +7,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Client is the remote counterpart of Dataset: the same operator methods
@@ -19,6 +20,40 @@ type Client struct {
 	Base string
 	// HTTP overrides the transport; nil uses http.DefaultClient.
 	HTTP *http.Client
+}
+
+// ClientOptions tunes the HTTP transport behind a Client. The zero value
+// keeps stdlib defaults, which cap idle connections at 2 per host — far too
+// few for a load generator fanning hundreds of concurrent requests at one
+// server (every extra request pays a fresh TCP handshake).
+type ClientOptions struct {
+	// Timeout bounds one whole request (dial + write + read). Zero means no
+	// timeout.
+	Timeout time.Duration
+	// MaxIdleConnsPerHost raises the per-host idle keep-alive pool (stdlib
+	// default 2). Set it to at least the expected concurrency.
+	MaxIdleConnsPerHost int
+	// MaxConnsPerHost caps total connections per host, 0 = unlimited. Use it
+	// to hold a closed-loop load test at exactly N connections.
+	MaxConnsPerHost int
+}
+
+// NewClient returns a Client for the server at base with a dedicated
+// transport tuned by opts. The transport is a clone of
+// http.DefaultTransport, so proxy and TLS environment handling carry over.
+func NewClient(base string, opts ClientOptions) *Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	if opts.MaxIdleConnsPerHost > 0 {
+		tr.MaxIdleConnsPerHost = opts.MaxIdleConnsPerHost
+		if tr.MaxIdleConns > 0 && tr.MaxIdleConns < opts.MaxIdleConnsPerHost {
+			tr.MaxIdleConns = opts.MaxIdleConnsPerHost
+		}
+	}
+	tr.MaxConnsPerHost = opts.MaxConnsPerHost
+	return &Client{
+		Base: base,
+		HTTP: &http.Client{Transport: tr, Timeout: opts.Timeout},
+	}
 }
 
 // setTrace adds the ?trace=1 ask to the query when the request wants a

@@ -710,12 +710,14 @@ func (d *Dataset) Info(trace bool) (*InfoResponse, error) {
 		return nil, err
 	}
 	t0, t1, ok := ix.TimeSpan()
+	bounds, _ := ix.Bounds()
 	resp := &InfoResponse{
 		Samples: ix.Len(),
 		Objects: len(ix.Objects()),
 		Floors:  ix.Floors(),
 		T0:      t0,
 		T1:      t1,
+		Bounds:  bounds,
 		Empty:   !ok,
 		Stats:   stats,
 	}

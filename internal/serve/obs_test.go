@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -410,6 +411,112 @@ func TestRequestIDAndErrorBody(t *testing.T) {
 	res2.Body.Close()
 	if id := res2.Header.Get("X-Request-Id"); len(id) != 16 {
 		t.Errorf("generated request ID %q, want 16 hex chars", id)
+	}
+}
+
+// TestMetricszRuntimeSeries checks a stock server's /metricsz carries the
+// go_*/process_* runtime series, with live (sane) values — no opt-in
+// required.
+func TestMetricszRuntimeSeries(t *testing.T) {
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	ts := httptest.NewServer(NewServerWith(ds, ServerOptions{Logger: quietLogger(), Metrics: obs.NewRegistry()}).Handler())
+	t.Cleanup(ts.Close)
+
+	m := scrapeMetrics(t, ts.URL)
+	for _, name := range []string{
+		"go_goroutines", "go_gomaxprocs",
+		"go_memstats_alloc_bytes", "go_memstats_sys_bytes",
+		"go_memstats_heap_inuse_bytes",
+	} {
+		if v, ok := m[name]; !ok {
+			t.Errorf("missing runtime series %s", name)
+		} else if v <= 0 {
+			t.Errorf("%s = %g, want > 0", name, v)
+		}
+	}
+	if runtime.GOOS == "linux" {
+		rss, ok := m["process_resident_memory_bytes"]
+		if !ok {
+			t.Fatal("missing process_resident_memory_bytes on linux")
+		}
+		if rss < 1<<20 || rss > 1<<42 {
+			t.Errorf("process_resident_memory_bytes = %g, not a plausible RSS", rss)
+		}
+		if m["process_open_fds"] < 1 {
+			t.Errorf("process_open_fds = %g, want >= 1", m["process_open_fds"])
+		}
+	}
+	if m["process_uptime_seconds"] < 0 {
+		t.Errorf("process_uptime_seconds = %g, want >= 0", m["process_uptime_seconds"])
+	}
+}
+
+// TestClientOptionsTransport checks NewClient produces a dedicated tuned
+// transport (not a shared http.DefaultClient) and that its timeout actually
+// fires — the knobs vitaload leans on for high-concurrency replay.
+func TestClientOptionsTransport(t *testing.T) {
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	ts := httptest.NewServer(NewServerWith(ds, ServerOptions{Logger: quietLogger(), Metrics: obs.NewRegistry()}).Handler())
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL, ClientOptions{Timeout: 5 * time.Second, MaxIdleConnsPerHost: 64, MaxConnsPerHost: 64})
+	if c.HTTP == nil || c.HTTP == http.DefaultClient {
+		t.Fatal("NewClient must build a dedicated http.Client")
+	}
+	tr, ok := c.HTTP.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("transport is %T, want *http.Transport", c.HTTP.Transport)
+	}
+	if tr == http.DefaultTransport {
+		t.Fatal("NewClient must clone, not share, http.DefaultTransport")
+	}
+	if tr.MaxIdleConnsPerHost != 64 || tr.MaxConnsPerHost != 64 {
+		t.Errorf("transport knobs: idle/host=%d conns/host=%d, want 64/64", tr.MaxIdleConnsPerHost, tr.MaxConnsPerHost)
+	}
+	if _, err := c.Info(false); err != nil {
+		t.Fatalf("tuned client request failed: %v", err)
+	}
+
+	// A stalled server must trip the timeout instead of hanging the caller.
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	t.Cleanup(stall.Close)
+	slow := NewClient(stall.URL, ClientOptions{Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	if _, err := slow.Info(false); err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not bound the request")
+	}
+}
+
+// TestInfoBounds checks /v1/info carries the dataset's spatial bounding box
+// on the JSON surface, identically local and remote.
+func TestInfoBounds(t *testing.T) {
+	ds := openTestDataset(t, storage.FormatVTB, Config{})
+	ts := httptest.NewServer(NewServerWith(ds, ServerOptions{Logger: quietLogger(), Metrics: obs.NewRegistry()}).Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{Base: ts.URL}
+
+	local, err := ds.Info(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.Info(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Bounds != remote.Bounds {
+		t.Errorf("bounds differ: local %v remote %v", local.Bounds, remote.Bounds)
+	}
+	b := remote.Bounds
+	if !(b.Min.X < b.Max.X && b.Min.Y < b.Max.Y) {
+		t.Errorf("degenerate bounds %v for a multi-sample dataset", b)
 	}
 }
 

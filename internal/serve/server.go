@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -175,6 +176,7 @@ func (s *Server) registerMetrics() {
 	counter("vita_compactions_total", "Compactions recorded by the served manifest (cross-process).", func() int64 { return int64(ds.Compactions()) })
 	counter("vita_manifest_refreshes_total", "Manifest generations the dataset has folded in.", ds.Refreshes)
 	obs.RegisterBuildInfo(r)
+	obs.RegisterRuntimeMetrics(r)
 }
 
 // reqCtxKey carries per-request observability state through the context.
@@ -285,12 +287,55 @@ func (s *Server) traceParams(r *http.Request) (wantTrace, doTrace bool) {
 //
 // Call before Serve. The endpoints expose internals — keep them off (the
 // default) unless the listen address is trusted.
-func (s *Server) EnablePprof() {
+//
+// EnablePprof also turns on block and mutex profiling at the
+// DefaultPprofOptions sampling rates; without those runtime knobs the
+// /debug/pprof/{block,mutex} profiles are permanently empty. Use
+// EnablePprofWith to tune or disable them.
+func (s *Server) EnablePprof() { s.EnablePprofWith(DefaultPprofOptions()) }
+
+// PprofOptions tunes the runtime profiling rates EnablePprofWith applies.
+type PprofOptions struct {
+	// BlockProfileRate is the argument to runtime.SetBlockProfileRate: one
+	// blocking event per rate nanoseconds blocked is sampled. 1 samples
+	// every event (costly), 0 leaves the current setting untouched, < 0
+	// disables block profiling.
+	BlockProfileRate int
+	// MutexProfileFraction is the argument to
+	// runtime.SetMutexProfileFraction: 1/fraction of mutex contention events
+	// are sampled. 1 samples every event, 0 leaves the current setting
+	// untouched, < 0 disables mutex profiling.
+	MutexProfileFraction int
+}
+
+// DefaultPprofOptions samples a blocking event per 10ms cumulatively blocked
+// and 1 in 5 mutex contention events — cheap enough for a production daemon,
+// dense enough that a loaded server produces non-empty profiles.
+func DefaultPprofOptions() PprofOptions {
+	return PprofOptions{BlockProfileRate: 10 * 1000 * 1000, MutexProfileFraction: 5}
+}
+
+// EnablePprofWith mounts the pprof endpoints like EnablePprof and applies
+// explicit block/mutex sampling rates. The runtime settings are process-wide,
+// not per-server.
+func (s *Server) EnablePprofWith(opts PprofOptions) {
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	switch {
+	case opts.BlockProfileRate > 0:
+		runtime.SetBlockProfileRate(opts.BlockProfileRate)
+	case opts.BlockProfileRate < 0:
+		runtime.SetBlockProfileRate(0)
+	}
+	switch {
+	case opts.MutexProfileFraction > 0:
+		runtime.SetMutexProfileFraction(opts.MutexProfileFraction)
+	case opts.MutexProfileFraction < 0:
+		runtime.SetMutexProfileFraction(0)
+	}
 }
 
 // Serve accepts connections on l until Shutdown. It returns nil after a

@@ -224,6 +224,11 @@ type InfoResponse struct {
 	Floors  []int   `json:"floors"`
 	T0      float64 `json:"t0"`
 	T1      float64 `json:"t1"`
+	// Bounds is the tight bounding box over every sample location. It is
+	// carried on the JSON surface only (WriteText is frozen for CLI output
+	// parity); workload generators use it to draw spatial parameters that
+	// actually hit the data.
+	Bounds geom.BBox `json:"bounds"`
 	// Empty reports a dataset with no samples (T0/T1 then meaningless).
 	Empty bool      `json:"empty"`
 	Stats Stats     `json:"stats"`

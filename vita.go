@@ -31,12 +31,14 @@
 package vita
 
 import (
+	"context"
 	"io"
 
 	"vita/internal/colstore"
 	"vita/internal/core"
 	"vita/internal/geom"
 	"vita/internal/ifc"
+	"vita/internal/load"
 	"vita/internal/obs"
 	"vita/internal/plan"
 	"vita/internal/positioning"
@@ -416,6 +418,60 @@ type QueryServerOptions = serve.ServerOptions
 // NewQueryServerWith is NewQueryServer with explicit observability options.
 func NewQueryServerWith(ds *QueryDataset, opts QueryServerOptions) *QueryServer {
 	return serve.NewServerWith(ds, opts)
+}
+
+// QueryClientOptions tunes the HTTP transport behind a QueryClient (request
+// timeout, per-host connection pool) — the knobs a high-concurrency load
+// generator needs.
+type QueryClientOptions = serve.ClientOptions
+
+// NewQueryClient returns a QueryClient for the daemon at base with a
+// dedicated transport tuned by opts.
+func NewQueryClient(base string, opts QueryClientOptions) *QueryClient {
+	return serve.NewClient(base, opts)
+}
+
+// PprofOptions tunes the block/mutex profiling rates a QueryServer applies
+// when mounting the pprof endpoints.
+type PprofOptions = serve.PprofOptions
+
+// --- load-testing harness (internal/load, cmd/vitaload) ---
+
+// LoadQuerier is anything the load harness can replay against: a local
+// QueryDataset or a QueryClient speaking to a live daemon.
+type LoadQuerier = load.Querier
+
+// LoadMix is a weighted query mix for the load harness.
+type LoadMix = load.Mix
+
+// LoadOptions configures one load run: open/closed loop, rate or
+// concurrency, duration, mix, seed, optional /metricsz scrape delta.
+type LoadOptions = load.Options
+
+// LoadReport is the machine-readable result of one load run: per-endpoint
+// throughput, error counts, latency quantiles, and the server-side metrics
+// delta.
+type LoadReport = load.Report
+
+// LoadProgress is one live snapshot of a running load test.
+type LoadProgress = load.Progress
+
+// Load-harness driving modes.
+const (
+	LoadModeOpen   = load.ModeOpen
+	LoadModeClosed = load.ModeClosed
+)
+
+// DefaultLoadMix returns the stock interactive-monitoring query mix.
+func DefaultLoadMix() LoadMix { return load.DefaultMix() }
+
+// ParseLoadMix parses "range=40,knn=25,traj=20" into a LoadMix.
+func ParseLoadMix(s string) (LoadMix, error) { return load.ParseMix(s) }
+
+// RunLoad executes one load test against q (see cmd/vitaload for the CLI
+// form) and blocks until it completes or ctx is cancelled.
+func RunLoad(ctx context.Context, q LoadQuerier, opts LoadOptions) (*LoadReport, error) {
+	return load.Run(ctx, q, opts)
 }
 
 // QueryTrace is one node of a per-operator execution trace — the operator
