@@ -828,12 +828,15 @@ func BenchmarkVTBScanMmapVsReaderAt(b *testing.B) {
 // dictionary string, and flate reader); the budget fails the build if
 // per-row or per-block-decode allocations ever creep back in.
 //
-// Two sub-benchmarks, two budgets: the raw (uncompressed) file proves the
-// cursor pipeline itself is allocation-free — a small constant independent
-// of rows and blocks — while the flate file additionally pays stdlib flate's
-// internal per-stream Huffman table allocations (a handful per block, not
-// poolable from outside the package), so its budget scales with block count
-// and nothing else.
+// Three sub-benchmarks, three budgets: the raw (uncompressed) file proves
+// the cursor pipeline itself is allocation-free — a small constant
+// independent of rows and blocks — vsnap (the default codec) must match
+// that same constant because its decoder works entirely inside pooled
+// scratch, while the flate file additionally pays stdlib flate's internal
+// per-stream Huffman table allocations (a handful per block, not poolable
+// from outside the package), so its budget scales with block count and
+// nothing else. BenchmarkVTBScanCompressedAllocs tightens the vsnap case
+// to exactly zero.
 func BenchmarkVTBScanAllocs(b *testing.B) {
 	cases := []struct {
 		name   string
@@ -842,12 +845,16 @@ func BenchmarkVTBScanAllocs(b *testing.B) {
 	}{
 		// Constant budget: cursor struct + pool/GC slack. ~12k rows in ~12
 		// blocks, so anything O(rows) or O(blocks) blows through at once.
-		{"raw", colstore.Options{BlockSize: 1024, NoCompress: true},
+		{"raw", colstore.Options{BlockSize: 1024, Codec: colstore.CodecRaw},
+			func(int) float64 { return 16 }},
+		// Same constant budget as raw: vsnap decode reuses the pooled
+		// scratch output, so compression must cost no allocations.
+		{"vsnap", colstore.Options{BlockSize: 1024, Codec: colstore.CodecVSnap},
 			func(int) float64 { return 16 }},
 		// Per-block budget: flate's dynamic-Huffman decode allocates its
 		// link tables per stream (~7 allocs/block); everything else must
 		// stay flat.
-		{"flate", colstore.Options{BlockSize: 1024},
+		{"flate", colstore.Options{BlockSize: 1024, Codec: colstore.CodecFlate},
 			func(blocks int) float64 { return 16 + 10*float64(blocks) }},
 	}
 	for _, tc := range cases {
@@ -875,8 +882,6 @@ func BenchmarkVTBScanAllocs(b *testing.B) {
 			scanOnce() // steady state: pools filled, strings interned
 			allocs := testing.AllocsPerRun(5, scanOnce)
 			budget := tc.budget(blocks)
-			b.ReportMetric(allocs, "allocs/scan")
-			b.ReportMetric(allocs/float64(n), "allocs/row")
 			if allocs > budget {
 				b.Fatalf("steady-state scan costs %.0f allocs over %d blocks, budget %.0f",
 					allocs, blocks, budget)
@@ -886,8 +891,53 @@ func BenchmarkVTBScanAllocs(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				scanOnce()
 			}
+			// Reported after the loop: ResetTimer discards earlier metrics.
+			b.ReportMetric(allocs, "allocs/scan")
+			b.ReportMetric(allocs/float64(n), "allocs/row")
 		})
 	}
+}
+
+// BenchmarkVTBScanCompressedAllocs is the acceptance gate for the vsnap
+// codec's headline property: a steady-state cursor scan of a
+// vsnap-compressed file costs ZERO allocations — not a budget, an exact
+// zero, the same figure the uncompressed raw path achieves. The decoder
+// writes into the pooled scratch buffer and keeps no per-block state, so
+// once the pool is warm nothing on the block-decode path may touch the
+// heap. Any regression (a forgotten buffer reuse, an error path that
+// formats eagerly, a new per-block slice) fails the build here before it
+// can show up as a latency cliff in serving.
+func BenchmarkVTBScanCompressedAllocs(b *testing.B) {
+	path, n := vtbBenchFile(b, colstore.Options{BlockSize: 1024, Codec: colstore.CodecVSnap})
+	r, err := colstore.OpenTrajectory(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	scanOnce := func() {
+		rows := 0
+		cur := r.Cursor(colstore.Predicate{})
+		for cur.Next() {
+			rows += cur.Batch().Len()
+		}
+		if err := cur.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if rows != n {
+			b.Fatalf("scanned %d rows, want %d", rows, n)
+		}
+	}
+	scanOnce() // fill the scratch pool and interning table
+	allocs := testing.AllocsPerRun(10, scanOnce)
+	if allocs != 0 {
+		b.Fatalf("steady-state vsnap cursor scan costs %.0f allocs, want exactly 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanOnce()
+	}
+	b.ReportMetric(allocs, "allocs/scan") // after the loop: ResetTimer discards earlier metrics
 }
 
 // benchReaderSource serves plan scans from an already-open reader, so a

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"vita/internal/colstore"
 	"vita/internal/obs"
 	"vita/internal/seglog"
 )
@@ -36,10 +37,18 @@ func run() error {
 	dataDir := flag.String("data", "out", "dataset directory (or a segment log directory)")
 	minSegments := flag.Int("min-segments", 2, "merge only when at least this many segments are live")
 	useMmap := flag.Bool("mmap", true, "memory-map merge inputs (false = plain file reads)")
+	codecStr := flag.String("codec", "", "VTB block codec for the merged segment: raw | vsnap | flate (default vsnap); compacting a flate-era log rewrites it under the new codec")
 	logOpts := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 	if _, err := logOpts.Setup(os.Stderr); err != nil {
 		return err
+	}
+	var block colstore.Options
+	if *codecStr != "" {
+		var err error
+		if block.Codec, err = colstore.ParseCodec(*codecStr); err != nil {
+			return err
+		}
 	}
 
 	var logDirs []string
@@ -70,6 +79,7 @@ func run() error {
 		meta, err := seglog.NewCompactor(l, seglog.CompactorOptions{
 			MinSegments: *minSegments,
 			DisableMmap: !*useMmap,
+			Block:       block,
 		}).RunOnce()
 		if err != nil {
 			return fmt.Errorf("%s: %w", dir, err)

@@ -10,6 +10,12 @@
 // extension (.csv or .vtb). VTB → CSV applies the CSV codec's 4-decimal
 // quantization; every other direction is lossless, so a VTB → CSV
 // conversion is byte-identical to having generated CSV directly.
+//
+// For VTB output, -codec selects the block codec (raw | vsnap | flate;
+// default vsnap). VTB → VTB with -codec recompresses a file in place of its
+// era's codec — the migration path for flate-era archives:
+//
+//	vitaconvert -in old/trajectory.vtb -out new/trajectory.vtb -codec vsnap
 package main
 
 import (
@@ -36,6 +42,7 @@ func main() {
 func run() error {
 	in := flag.String("in", "", "input file (.csv or .vtb, detected by content)")
 	out := flag.String("out", "", "output file; extension selects the format")
+	codecStr := flag.String("codec", "", "VTB block codec: raw | vsnap | flate (default vsnap; .vtb output only)")
 	flag.Parse()
 	if *in == "" || *out == "" {
 		return fmt.Errorf("both -in and -out are required")
@@ -44,6 +51,15 @@ func run() error {
 	outFormat, err := formatFromExt(*out)
 	if err != nil {
 		return err
+	}
+	var block colstore.Options
+	if *codecStr != "" {
+		if outFormat != storage.FormatVTB {
+			return fmt.Errorf("-codec only applies to .vtb output (CSV has no block codec)")
+		}
+		if block.Codec, err = colstore.ParseCodec(*codecStr); err != nil {
+			return err
+		}
 	}
 	kind, err := detectKind(*in)
 	if err != nil {
@@ -58,9 +74,9 @@ func run() error {
 	var rows int
 	switch kind {
 	case colstore.KindTrajectory:
-		rows, err = convertTrajectory(*in, bw, outFormat)
+		rows, err = convertTrajectory(*in, bw, outFormat, block)
 	case colstore.KindRSSI:
-		rows, err = convertRSSI(*in, bw, outFormat)
+		rows, err = convertRSSI(*in, bw, outFormat, block)
 	}
 	if err == nil {
 		err = bw.Flush()
@@ -126,7 +142,7 @@ func detectKind(path string) (colstore.Kind, error) {
 
 // convertTrajectory pipes rows from the input scan straight into the output
 // writer, so conversion runs in O(block) memory however large the file is.
-func convertTrajectory(in string, w *bufio.Writer, format storage.Format) (int, error) {
+func convertTrajectory(in string, w *bufio.Writer, format storage.Format, block colstore.Options) (int, error) {
 	var out interface {
 		Write(trajectory.Sample) error
 		Close() error
@@ -138,7 +154,7 @@ func convertTrajectory(in string, w *bufio.Writer, format storage.Format) (int, 
 			return 0, err
 		}
 	} else {
-		out = colstore.NewTrajectoryWriter(w)
+		out = colstore.NewTrajectoryWriterOptions(w, block)
 	}
 	rows := 0
 	var werr error
@@ -159,7 +175,7 @@ func convertTrajectory(in string, w *bufio.Writer, format storage.Format) (int, 
 }
 
 // convertRSSI is convertTrajectory for RSSI rows.
-func convertRSSI(in string, w *bufio.Writer, format storage.Format) (int, error) {
+func convertRSSI(in string, w *bufio.Writer, format storage.Format, block colstore.Options) (int, error) {
 	var out interface {
 		Write(rssi.Measurement) error
 		Close() error
@@ -171,7 +187,7 @@ func convertRSSI(in string, w *bufio.Writer, format storage.Format) (int, error)
 			return 0, err
 		}
 	} else {
-		out = colstore.NewRSSIWriter(w)
+		out = colstore.NewRSSIWriterOptions(w, block)
 	}
 	rows := 0
 	var werr error

@@ -34,10 +34,14 @@
 //     in first-seen order followed by varint indices;
 //   - the HasPoint flag: a bitset.
 //
-// The concatenated columns are then flate-compressed when that helps (codec
-// 1) or stored verbatim (codec 0). Decoding restores every field bit-for-bit:
-// the round trip is lossless by construction, which the acceptance tests
-// verify sample-by-sample against generator output.
+// The concatenated columns are then block-compressed when that helps —
+// vsnap, the default allocation-free LZ codec (codec 2, see vsnap.go), or
+// flate (codec 1, the pre-vsnap default, still fully supported) — or stored
+// verbatim (codec 0). Every block frame carries its own codec byte, so one
+// file may mix blocks from different codecs and eras; readers need no codec
+// configuration. Decoding restores every field bit-for-bit: the round trip
+// is lossless by construction, which the acceptance tests verify
+// sample-by-sample against generator output.
 package colstore
 
 import (
@@ -77,6 +81,14 @@ const (
 
 	codecRaw   = 0
 	codecFlate = 1
+	codecVSnap = 2
+
+	// maxBlockRaw bounds the decoded size a block frame may declare. Real
+	// blocks are a few hundred KiB (BlockSize rows across ~8 columns), so
+	// 16 MiB is two orders of magnitude of headroom; the bound exists so a
+	// corrupt or hostile frame cannot drive a giant allocation — or a
+	// gigabyte-scale LZ expansion — before decoding even starts.
+	maxBlockRaw = 1 << 24
 )
 
 var (
@@ -84,18 +96,83 @@ var (
 	magicTail = [4]byte{'V', 'T', 'B', 'F'}
 )
 
+// Codec selects the per-block compression a writer applies to encoded
+// payloads. Readers need no codec choice: every block frame carries its own
+// codec byte, so files — even single segment logs — may freely mix blocks
+// written under different codecs and different eras.
+type Codec uint8
+
+const (
+	// CodecDefault resolves to CodecVSnap at write time — the zero value, so
+	// an unset Options.Codec picks the fast default.
+	CodecDefault Codec = iota
+	// CodecVSnap is vsnap, the allocation-free LZ codec (see vsnap.go): the
+	// default since it decodes at memcpy-like speed with zero allocations
+	// per block, at a slightly weaker ratio than flate.
+	CodecVSnap
+	// CodecFlate is stdlib DEFLATE: the best ratio (it adds a Huffman
+	// entropy stage) but ~7 allocations per decoded block from stdlib
+	// Huffman state. The write codec of every pre-vsnap VTB file; kept fully
+	// writable and readable.
+	CodecFlate
+	// CodecRaw stores blocks verbatim — the fastest scans (zero-copy off an
+	// mmap) at the largest size.
+	CodecRaw
+)
+
+// ParseCodec validates a user-supplied codec name (the CLIs' -codec flags).
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "vsnap":
+		return CodecVSnap, nil
+	case "flate":
+		return CodecFlate, nil
+	case "raw":
+		return CodecRaw, nil
+	default:
+		return 0, fmt.Errorf("colstore: unknown codec %q (valid: raw, vsnap, flate)", s)
+	}
+}
+
+func (c Codec) String() string {
+	switch c {
+	case CodecDefault:
+		return "default"
+	case CodecVSnap:
+		return "vsnap"
+	case CodecFlate:
+		return "flate"
+	case CodecRaw:
+		return "raw"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
 // Options tunes a Writer. The zero value selects the defaults.
 type Options struct {
 	// BlockSize is the number of rows per block (default 4096). Smaller
 	// blocks prune more sharply but carry more per-block overhead.
 	BlockSize int
-	// NoCompress disables the flate pass over encoded blocks.
+	// Codec selects the block compression (default CodecVSnap). Compressed
+	// codecs store a block raw when compression would not shrink it, so any
+	// file can contain raw blocks.
+	Codec Codec
+	// NoCompress is the legacy spelling of Codec: CodecRaw; it applies only
+	// when Codec is CodecDefault. Prefer Codec.
 	NoCompress bool
 }
 
 func (o Options) withDefaults() Options {
 	if o.BlockSize <= 0 {
 		o.BlockSize = 4096
+	}
+	if o.Codec == CodecDefault {
+		if o.NoCompress {
+			o.Codec = CodecRaw
+		} else {
+			o.Codec = CodecVSnap
+		}
 	}
 	return o
 }

@@ -136,41 +136,91 @@ func appendBitset(dst []byte, vals []bool) []byte {
 	return dst
 }
 
-// compressBlock flate-compresses raw when that shrinks it, returning the
-// stored payload and the codec byte. The flate writer and output buffer are
-// the caller's and are reused across blocks; the returned payload is only
-// valid until the next call with the same buffers.
-func compressBlock(raw []byte, noCompress bool, fw **flate.Writer, buf *bytes.Buffer) ([]byte, byte, error) {
-	if noCompress {
-		return raw, codecRaw, nil
+// blockCompressor turns one encoded block payload into its stored form. A
+// writer (or compactor) configures exactly one at construction from
+// Options.Codec and holds it for its lifetime, so the per-block hot path has
+// no codec branching and every compressor buffer is reused across blocks —
+// the returned payload is only valid until the next compress call.
+//
+// Compressing codecs fall back to codecRaw when compression would not shrink
+// the payload; the reader dispatches on the per-block codec byte, so the
+// fallback (and mixing codecs across a file's blocks) is invisible to it.
+type blockCompressor interface {
+	compress(raw []byte) (stored []byte, codec byte, err error)
+}
+
+// newBlockCompressor returns the compressor for a resolved (non-default)
+// codec.
+func newBlockCompressor(c Codec) blockCompressor {
+	switch c {
+	case CodecFlate:
+		return &flateCompressor{}
+	case CodecRaw:
+		return rawCompressor{}
+	default:
+		return &vsnapCompressor{}
 	}
-	buf.Reset()
-	if *fw == nil {
-		w, err := flate.NewWriter(buf, flate.DefaultCompression)
+}
+
+// rawCompressor stores blocks verbatim.
+type rawCompressor struct{}
+
+func (rawCompressor) compress(raw []byte) ([]byte, byte, error) { return raw, codecRaw, nil }
+
+// flateCompressor reuses one flate.Writer and one output buffer across
+// blocks.
+type flateCompressor struct {
+	fw  *flate.Writer
+	buf bytes.Buffer
+}
+
+func (c *flateCompressor) compress(raw []byte) ([]byte, byte, error) {
+	c.buf.Reset()
+	if c.fw == nil {
+		w, err := flate.NewWriter(&c.buf, flate.DefaultCompression)
 		if err != nil {
 			return nil, 0, err
 		}
-		*fw = w
+		c.fw = w
 	} else {
-		(*fw).Reset(buf)
+		c.fw.Reset(&c.buf)
 	}
-	if _, err := (*fw).Write(raw); err != nil {
+	if _, err := c.fw.Write(raw); err != nil {
 		return nil, 0, err
 	}
-	if err := (*fw).Close(); err != nil {
+	if err := c.fw.Close(); err != nil {
 		return nil, 0, err
 	}
-	if buf.Len() >= len(raw) {
+	if c.buf.Len() >= len(raw) {
 		return raw, codecRaw, nil
 	}
-	return buf.Bytes(), codecFlate, nil
+	return c.buf.Bytes(), codecFlate, nil
 }
 
-// decompressInto reverses compressBlock, validating the declared raw size.
-// Raw blocks come back as the stored slice itself (zero-copy — on an
-// mmap-backed reader that is a window straight into the page cache); flate
-// blocks inflate into the scratch's reused output buffer via its pooled
-// decompressor. The result is only valid until the scratch's next use.
+// vsnapCompressor reuses one output buffer and one hash table across blocks;
+// steady-state encode allocates nothing once the output buffer has grown to
+// the working size.
+type vsnapCompressor struct {
+	dst   []byte
+	table [vsnapTableSize]int32
+}
+
+func (c *vsnapCompressor) compress(raw []byte) ([]byte, byte, error) {
+	c.dst = vsnapAppend(c.dst[:0], raw, c.table[:])
+	if len(c.dst) >= len(raw) {
+		return raw, codecRaw, nil
+	}
+	return c.dst, codecVSnap, nil
+}
+
+// decompressInto reverses a blockCompressor, dispatching on the per-block
+// codec byte and validating the declared raw size. Raw blocks come back as
+// the stored slice itself (zero-copy — on an mmap-backed reader that is a
+// window straight into the page cache); vsnap blocks decode into the
+// scratch's reused output buffer with no allocations; flate blocks inflate
+// through the scratch's pooled decompressor (stdlib flate still allocates
+// its Huffman state per stream). The result is only valid until the
+// scratch's next use.
 func decompressInto(stored []byte, codec byte, rawLen int, sc *decodeScratch) ([]byte, error) {
 	switch codec {
 	case codecRaw:
@@ -178,6 +228,12 @@ func decompressInto(stored []byte, codec byte, rawLen int, sc *decodeScratch) ([
 			return nil, fmt.Errorf("colstore: raw block is %d bytes, header says %d", len(stored), rawLen)
 		}
 		return stored, nil
+	case codecVSnap:
+		sc.raw = growBytes(sc.raw, rawLen)
+		if err := vsnapDecode(sc.raw, stored); err != nil {
+			return nil, fmt.Errorf("colstore: %w", err)
+		}
+		return sc.raw, nil
 	case codecFlate:
 		if err := sc.flateReset(stored); err != nil {
 			return nil, fmt.Errorf("colstore: inflate block: %w", err)

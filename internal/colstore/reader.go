@@ -181,6 +181,11 @@ func (rd *reader) blockBytes(i int, sc *decodeScratch) ([]byte, error) {
 	if int64(storedLen) > rd.size-off-9 {
 		return nil, fmt.Errorf("colstore: block %d claims %d bytes past EOF", i, storedLen)
 	}
+	if rawLen > maxBlockRaw {
+		// A corrupt frame must not drive a giant decode allocation; no real
+		// block approaches this (see maxBlockRaw).
+		return nil, fmt.Errorf("colstore: block %d declares %d raw bytes (limit %d)", i, rawLen, maxBlockRaw)
+	}
 	var stored []byte
 	if rd.data != nil {
 		stored = rd.data[off+9 : off+9+int64(storedLen)]

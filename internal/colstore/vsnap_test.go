@@ -1,0 +1,105 @@
+package colstore
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// vsnapRoundTrip encodes src, decodes it back, and fails on any mismatch.
+func vsnapRoundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	var table [vsnapTableSize]int32
+	enc := vsnapAppend(nil, src, table[:])
+	dst := make([]byte, len(src))
+	if err := vsnapDecode(dst, enc); err != nil {
+		t.Fatalf("decode %d-byte input: %v", len(src), err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("round trip mismatch on %d-byte input", len(src))
+	}
+	return enc
+}
+
+func TestVSnapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	random := make([]byte, 64<<10)
+	rng.Read(random)
+	lowEntropy := make([]byte, 64<<10)
+	for i := range lowEntropy {
+		lowEntropy[i] = byte(rng.Intn(4))
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"one-byte":     {42},
+		"three-bytes":  {1, 2, 3},
+		"min-match":    {9, 9, 9, 9},
+		"run":          bytes.Repeat([]byte{7}, 10_000),
+		"cycle-2":      bytes.Repeat([]byte{1, 2}, 5_000),
+		"cycle-7":      bytes.Repeat([]byte("abcdefg"), 1_000),
+		"text":         []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 500)),
+		"random":       random,
+		"low-entropy":  lowEntropy,
+		"tail-literal": append(bytes.Repeat([]byte("abcd"), 100), 'x', 'y', 'z'),
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			enc := vsnapRoundTrip(t, src)
+			t.Logf("%d -> %d bytes (%.1f%%)", len(src), len(enc),
+				100*float64(len(enc))/float64(max(len(src), 1)))
+		})
+	}
+}
+
+func TestVSnapCompressesRepetition(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefghijklmnop"), 4096)
+	enc := vsnapRoundTrip(t, src)
+	if len(enc) > len(src)/16 {
+		t.Fatalf("highly repetitive input compressed to only %d/%d bytes", len(enc), len(src))
+	}
+}
+
+// TestVSnapDecodeRejectsHostileInput feeds the decoder streams that are
+// individually well-formed varints but violate the format's bounds; each
+// must error — never panic, over-read, or write outside dst.
+func TestVSnapDecodeRejectsHostileInput(t *testing.T) {
+	cases := map[string]struct {
+		src    []byte
+		rawLen int
+	}{
+		"truncated-tag":           {[]byte{0x80}, 4},          // unterminated uvarint
+		"literal-overruns-input":  {[]byte{10 << 1, 'a'}, 16}, // claims 10 bytes, has 1
+		"literal-overruns-output": {[]byte{8 << 1, 1, 2, 3, 4, 5, 6, 7, 8}, 4},
+		"zero-length-literal":     {[]byte{0}, 0},
+		"copy-before-start":       {[]byte{2<<1 | 1, 5}, 8}, // dist 5 with 0 decoded bytes
+		"copy-zero-dist":          {[]byte{1 << 1, 'a', 2<<1 | 1, 0}, 8},
+		"copy-overruns-output":    {[]byte{1 << 1, 'a', (40-4)<<1 | 1, 1}, 8},
+		"truncated-dist":          {[]byte{1 << 1, 'a', 2<<1 | 1}, 8},
+		"short-stream":            {[]byte{1 << 1, 'a'}, 8}, // decodes 1 byte, declares 8
+		"huge-copy-tag": {append(append([]byte{1 << 1, 'a'},
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), 1), 8},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			dst := make([]byte, tc.rawLen)
+			if err := vsnapDecode(dst, tc.src); err == nil {
+				t.Fatalf("hostile input decoded without error")
+			}
+		})
+	}
+}
+
+// TestVSnapOverlappingCopy pins the LZ77 run semantics: a copy whose
+// distance is shorter than its length repeats the run.
+func TestVSnapOverlappingCopy(t *testing.T) {
+	// Literal "ab", then copy length 8 distance 2 => "ab" + "abababab".
+	src := []byte{2 << 1, 'a', 'b', (8-vsnapMinMatch)<<1 | 1, 2}
+	dst := make([]byte, 10)
+	if err := vsnapDecode(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(dst), "ababababab"; got != want {
+		t.Fatalf("overlapping copy decoded to %q, want %q", got, want)
+	}
+}

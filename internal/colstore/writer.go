@@ -1,8 +1,6 @@
 package colstore
 
 import (
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -15,11 +13,15 @@ import (
 
 // blockWriter owns the kind-independent file machinery: header, block
 // framing, zone-map accumulation, and the footer. The typed writers feed it
-// encoded payloads plus their zone maps.
+// encoded payloads plus their zone maps. Codec selection happens once, at
+// construction: the writer holds one configured blockCompressor for its
+// lifetime, so the per-block path has no codec branch and every compression
+// buffer is reused.
 type blockWriter struct {
 	w    io.Writer
 	opts Options
 	kind Kind
+	comp blockCompressor
 
 	off         int64
 	wroteHeader bool
@@ -29,13 +31,12 @@ type blockWriter struct {
 	offsets []int64
 	zones   []ZoneMap
 
-	payload []byte        // reused encode buffer
-	fw      *flate.Writer // reused compressor
-	cbuf    bytes.Buffer  // reused compression output
+	payload []byte // reused encode buffer
 }
 
 func newBlockWriter(w io.Writer, kind Kind, opts Options) *blockWriter {
-	return &blockWriter{w: w, kind: kind, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	return &blockWriter{w: w, kind: kind, opts: opts, comp: newBlockCompressor(opts.Codec)}
 }
 
 func (bw *blockWriter) write(p []byte) {
@@ -67,7 +68,7 @@ func (bw *blockWriter) flushBlock(raw []byte, zm ZoneMap) {
 		return
 	}
 	bw.writeHeader()
-	stored, codec, err := compressBlock(raw, bw.opts.NoCompress, &bw.fw, &bw.cbuf)
+	stored, codec, err := bw.comp.compress(raw)
 	if err != nil {
 		bw.err = err
 		return

@@ -67,6 +67,13 @@ type DirSink struct {
 // NewDirSink creates dir (if needed) and opens streaming writers for the
 // bulk outputs in the given format.
 func NewDirSink(dir string, format storage.Format) (*DirSink, error) {
+	return NewDirSinkOptions(dir, format, colstore.Options{})
+}
+
+// NewDirSinkOptions is NewDirSink with explicit VTB block options (codec,
+// block size). The options only apply when format is FormatVTB; CSV output
+// ignores them.
+func NewDirSinkOptions(dir string, format storage.Format, block colstore.Options) (*DirSink, error) {
 	switch format {
 	case storage.FormatCSV, storage.FormatVTB:
 	default:
@@ -85,8 +92,8 @@ func NewDirSink(dir string, format storage.Format) (*DirSink, error) {
 		return nil, err
 	}
 	if format == storage.FormatVTB {
-		s.traj = colstore.NewTrajectoryWriter(s.trajFile)
-		s.rssi = colstore.NewRSSIWriter(s.rssiFile)
+		s.traj = colstore.NewTrajectoryWriterOptions(s.trajFile, block)
+		s.rssi = colstore.NewRSSIWriterOptions(s.rssiFile, block)
 	} else {
 		if s.traj, err = storage.NewTrajectoryCSVWriter(s.trajFile); err == nil {
 			s.rssi, err = storage.NewRSSICSVWriter(s.rssiFile)
